@@ -1,0 +1,16 @@
+//! Runs the full paper reproduction as a bench target, so
+//! `cargo bench --workspace` regenerates every table and figure.
+
+use std::time::Instant;
+
+fn main() {
+    // Criterion-style filter compatibility: ignore --bench and filters.
+    let t0 = Instant::now();
+    for exp in tokenflow_bench::experiments::all() {
+        println!("=== {} — {} ===", exp.id, exp.title);
+        let start = Instant::now();
+        println!("{}", (exp.run)());
+        println!("[{} finished in {:.1?}]\n", exp.id, start.elapsed());
+    }
+    println!("full reproduction finished in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,40 @@
+//! CLI for running paper experiments.
+//!
+//! ```text
+//! experiments list        # show available experiment ids
+//! experiments all         # run everything in paper order
+//! experiments fig16 ...   # run specific experiments
+//! ```
+
+use std::time::Instant;
+
+use tokenflow_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments:");
+        for e in experiments::all() {
+            println!("  {:<9} {}", e.id, e.title);
+        }
+        if args.is_empty() {
+            println!("\nrun with `experiments all` or `experiments <id>...`");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args[0] == "all" {
+        experiments::all().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
+            eprintln!("unknown experiment: {id}");
+            std::process::exit(1);
+        };
+        println!("=== {} — {} ===", exp.id, exp.title);
+        let start = Instant::now();
+        println!("{}", (exp.run)());
+        println!("[{} finished in {:.1?}]\n", exp.id, start.elapsed());
+    }
+}

@@ -1,0 +1,194 @@
+//! Micro experiments: Figures 1, 2, 6, and 11.
+
+use tokenflow_client::rates::{consumption_rate, AgeGroup, ConsumptionMode, Language};
+use tokenflow_client::TokenBuffer;
+use tokenflow_core::EngineConfig;
+use tokenflow_model::{HardwareProfile, ModelProfile};
+use tokenflow_sim::{SimDuration, SimTime};
+use tokenflow_workload::presets::{industrial_trace, DEFAULT_RATE};
+use tokenflow_workload::{ArrivalSpec, RateDist, Workload};
+
+use crate::runner::run_cell;
+use crate::table::{f, Table};
+
+/// Figure 1: reading and listening token-consumption speeds by age group
+/// and language.
+pub fn fig01() -> String {
+    let mut out = String::new();
+    for (mode, label) in [
+        (ConsumptionMode::Reading, "Reading (tokens/s)"),
+        (ConsumptionMode::Listening, "Listening (tokens/s)"),
+    ] {
+        let mut header = vec!["language"];
+        header.extend(AgeGroup::ALL.iter().map(|a| a.label()));
+        let mut t = Table::new(header);
+        for lang in Language::ALL {
+            let mut row = vec![lang.label().to_string()];
+            for age in AgeGroup::ALL {
+                row.push(f(consumption_rate(mode, lang, age), 1));
+            }
+            t.row(row);
+        }
+        out.push_str(label);
+        out.push('\n');
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 2: SGLang's burst handling on an H200 — TTFT surges beyond the
+/// 1.3 s tolerance while per-request generation speed stays far above
+/// reading speed.
+pub fn fig02() -> String {
+    let mut t = Table::new(vec![
+        "burst load",
+        "requests",
+        "mean TTFT (s)",
+        "p99 TTFT (s)",
+        "mean speed (tok/s)",
+    ]);
+    for load in [0.3, 0.5, 0.75, 1.0] {
+        let size = (400.0 * load) as u32;
+        let setup = tokenflow_workload::ControlledSetup {
+            label: format!("load {load}"),
+            arrivals: ArrivalSpec::Burst {
+                size,
+                at: SimTime::ZERO,
+            },
+            lengths: tokenflow_workload::presets::LengthClass::Short,
+            output_scale: 2,
+        };
+        let w = setup.workload(2);
+        let cfg = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
+            .with_mem_frac(0.3);
+        let out = run_cell(cfg, "fcfs", &w);
+        t.row(vec![
+            f(load, 2),
+            size.to_string(),
+            f(out.report.ttft.mean, 2),
+            f(out.report.ttft.p99, 2),
+            f(out.report.mean_generation_rate, 1),
+        ]);
+    }
+    let mut s = String::from(
+        "SGLang (FCFS) under increasing burst load, H200 + Llama3-8B, mem-frac 0.3.\n\
+         Expected shape: TTFT grows superlinearly past the 1.3 s tolerance;\n\
+         per-request speed declines with load yet stays far above the\n\
+         12 tok/s reading threshold.\n\n",
+    );
+    s.push_str(&t.render());
+    s
+}
+
+/// Figure 6: the toy buffer-balancing example — three requests in the
+/// paper's 4:6:5 rate ratio on a two-slot system; R3 arrives at t=2 and is
+/// served by preempting whichever earlier request has accumulated buffer.
+pub fn fig06() -> String {
+    use tokenflow_sim::RequestId;
+    use tokenflow_workload::RequestSpec;
+
+    // The paper's toy uses 20/30/25 tok/s on a 40 tok/s system — an
+    // illustration that violates its own §4.3 bound. We keep the 4:6:5
+    // ratio but scale rates into the two-slot system's actual capacity so
+    // admission is schedulable and the rotation shows.
+    let specs = [(0u64, 10.0), (0u64, 15.0), (2_000u64, 12.5)];
+    let workload = Workload::new(
+        specs
+            .iter()
+            .map(|&(ms, rate)| RequestSpec {
+                id: RequestId(0),
+                arrival: SimTime::from_millis(ms),
+                prompt_tokens: 64,
+                output_tokens: 300,
+                rate,
+            })
+            .collect(),
+    );
+    // Constrain the system so only ~2 requests fit: tiny batch cap.
+    let mut cfg = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
+        .with_max_batch(2)
+        .with_timelines(3);
+    cfg.sample_interval = SimDuration::from_millis(500);
+    let out = run_cell(cfg, "tokenflow", &workload);
+
+    // Reconstruct per-request buffer occupancy by replaying timelines into
+    // fresh client buffers.
+    let horizon = out.sim_time.as_secs_f64().min(24.0);
+    let mut s = String::from(
+        "Buffer occupancy over time (tokens in each request's client buffer).\n\
+         R1@10 and R2@15 tok/s arrive at t=0; R3@12.5 arrives at t=2 and is\n\
+         admitted by preempting a buffer-rich earlier request; plateaus in\n\
+         the source timelines are preemption intervals.\n\n",
+    );
+    let mut t = Table::new(vec!["t (s)", "R1 buf", "R2 buf", "R3 buf"]);
+    let mut buffers: Vec<TokenBuffer> = workload.iter().map(|r| TokenBuffer::new(r.rate)).collect();
+    let mut cursor = [0usize; 3];
+    for step in 0..=(horizon as u64) {
+        let now = SimTime::from_secs(step);
+        let mut row = vec![step.to_string()];
+        for (i, tl) in out.timelines.iter().enumerate().take(3) {
+            let pts = tl.points();
+            while cursor[i] < pts.len() && pts[cursor[i]].0 <= now {
+                buffers[i].on_token(pts[cursor[i]].0);
+                cursor[i] += 1;
+            }
+            row.push(buffers[i].buffered(now).to_string());
+        }
+        t.row(row);
+    }
+    s.push_str(&t.render());
+    s.push_str(&format!(
+        "\npreemptions={}  all completed={}\n",
+        out.report.preemptions, out.complete
+    ));
+    for (i, tl) in out.timelines.iter().enumerate() {
+        s.push_str(&format!(
+            "R{} longest generation plateau: {:.1} s\n",
+            i + 1,
+            tl.longest_plateau_secs()
+        ));
+    }
+    s
+}
+
+/// Figure 11: the synthetic industrial trace's distribution.
+pub fn fig11() -> String {
+    let gen = industrial_trace(
+        6.0,
+        SimDuration::from_secs(1_200),
+        RateDist::Fixed(DEFAULT_RATE),
+    );
+    let w = gen.generate(7);
+    let stats = w.stats();
+    let mut s = String::from("Synthetic industrial trace (diurnal intensity, heavy-tailed lengths):\n\n");
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["requests".into(), stats.count.to_string()]);
+    t.row(vec!["span (s)".into(), f(stats.span.as_secs_f64(), 0)]);
+    t.row(vec!["mean prompt (tok)".into(), f(stats.mean_prompt, 0)]);
+    t.row(vec!["p50 prompt".into(), stats.p50_prompt.to_string()]);
+    t.row(vec!["p99 prompt".into(), stats.p99_prompt.to_string()]);
+    t.row(vec!["mean output (tok)".into(), f(stats.mean_output, 0)]);
+    t.row(vec!["p50 output".into(), stats.p50_output.to_string()]);
+    t.row(vec!["p99 output".into(), stats.p99_output.to_string()]);
+    t.row(vec![
+        "peak arrivals / s".into(),
+        stats.peak_arrivals_per_sec.to_string(),
+    ]);
+    s.push_str(&t.render());
+
+    // Arrival-intensity sparkline over the day (60 buckets).
+    let mut counts = vec![0f64; 60];
+    for spec in w.iter() {
+        let bucket = (spec.arrival.as_secs_f64() / 1_200.0 * 60.0) as usize;
+        counts[bucket.min(59)] += 1.0;
+    }
+    let mut series = tokenflow_metrics::TimeSeries::new("arrivals");
+    for (i, &c) in counts.iter().enumerate() {
+        series.push(SimTime::from_secs(i as u64 * 20), c);
+    }
+    s.push_str("\narrival intensity over the day: ");
+    s.push_str(&series.sparkline(60));
+    s.push('\n');
+    s
+}

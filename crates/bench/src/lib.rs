@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the TokenFlow
+//! paper's evaluation (§7).
+//!
+//! * [`experiments`] — one runner per table/figure, each returning the
+//!   rows/series the paper reports.
+//! * [`runner`] — the standard four-system comparison machinery.
+//! * [`table`] — plain-text table rendering.
+//!
+//! Run everything with `cargo bench -p tokenflow-bench --bench experiments`
+//! or selectively via the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p tokenflow-bench --bin experiments -- fig16
+//! ```
+
+pub mod experiments;
+pub mod runner;
+pub mod table;

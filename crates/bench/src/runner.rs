@@ -1,0 +1,108 @@
+//! Shared experiment-running utilities.
+
+use tokenflow_core::{run_simulation, EngineConfig, SimOutcome};
+use tokenflow_sched::{
+    AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowScheduler,
+};
+use tokenflow_workload::Workload;
+
+use crate::table::{f, Table};
+
+/// The four evaluated systems, in the paper's legend order.
+pub const SYSTEMS: [&str; 4] = ["chunked", "fcfs", "andes", "tokenflow"];
+
+/// Builds one of the four evaluated schedulers by key.
+///
+/// # Panics
+///
+/// Panics on an unknown key.
+pub fn make_scheduler(which: &str) -> Box<dyn Scheduler> {
+    match which {
+        "fcfs" => Box::new(FcfsScheduler::new()),
+        "chunked" => Box::new(ChunkedPrefillScheduler::new()),
+        "andes" => Box::new(AndesScheduler::new()),
+        "tokenflow" => Box::new(TokenFlowScheduler::new()),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+/// Runs one (config, scheduler, workload) cell.
+pub fn run_cell(config: EngineConfig, which: &str, workload: &Workload) -> SimOutcome {
+    run_simulation(config, make_scheduler(which), workload)
+}
+
+/// Runs all four systems on a workload and renders the standard
+/// four-metric comparison (effective throughput, raw throughput, mean
+/// TTFT, P99 TTFT) the paper's Figures 12/13/16/17/21 report.
+pub fn compare_systems(config: &EngineConfig, workload: &Workload) -> (Table, Vec<SimOutcome>) {
+    let mut table = Table::new(vec![
+        "system",
+        "eff thpt (tok/s)",
+        "thpt (tok/s)",
+        "mean TTFT (s)",
+        "p99 TTFT (s)",
+        "rebuffer (s)",
+        "preempts",
+        "complete",
+    ]);
+    let mut outcomes = Vec::new();
+    for which in SYSTEMS {
+        let out = run_cell(config.clone(), which, workload);
+        table.row(vec![
+            out.scheduler.clone(),
+            f(out.report.effective_throughput, 1),
+            f(out.report.throughput, 1),
+            f(out.report.ttft.mean, 2),
+            f(out.report.ttft.p99, 2),
+            f(out.report.total_rebuffer_secs, 1),
+            out.report.preemptions.to_string(),
+            out.complete.to_string(),
+        ]);
+        outcomes.push(out);
+    }
+    (table, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokenflow_model::{HardwareProfile, ModelProfile};
+    use tokenflow_sim::{RequestId, SimTime};
+    use tokenflow_workload::RequestSpec;
+
+    #[test]
+    fn make_scheduler_covers_all_systems() {
+        for which in SYSTEMS {
+            let s = make_scheduler(which);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_scheduler_panics() {
+        let _ = make_scheduler("vllm");
+    }
+
+    #[test]
+    fn compare_systems_produces_four_rows() {
+        let w = Workload::new(
+            (0..4)
+                .map(|i| RequestSpec {
+                    id: RequestId(0),
+                    arrival: SimTime::from_millis(i * 100),
+                    prompt_tokens: 64,
+                    output_tokens: 32,
+                    rate: 20.0,
+                })
+                .collect(),
+        );
+        let cfg = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+        let (table, outcomes) = compare_systems(&cfg, &w);
+        assert_eq!(outcomes.len(), 4);
+        let rendered = table.render();
+        assert!(rendered.contains("TokenFlow"));
+        assert!(rendered.contains("SGLang"));
+        assert!(outcomes.iter().all(|o| o.report.completed == 4));
+    }
+}

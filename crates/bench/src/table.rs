@@ -1,0 +1,111 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple left-padded text table.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["system", "eff"]);
+/// t.row(vec!["SGLang".into(), "215.5".into()]);
+/// let s = t.render();
+/// assert!(s.contains("SGLang"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<&str>) -> Self {
+        Table {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a percentage change from `base` to `new` as e.g. `"+82.5%"`.
+pub fn pct_change(base: f64, new: f64) -> String {
+    if base == 0.0 {
+        return "n/a".to_string();
+    }
+    let p = (new - base) / base * 100.0;
+    format!("{p:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn pct_change_signs() {
+        assert_eq!(pct_change(100.0, 182.5), "+82.5%");
+        assert_eq!(pct_change(100.0, 19.8), "-80.2%");
+        assert_eq!(pct_change(0.0, 5.0), "n/a");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+}

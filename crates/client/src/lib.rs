@@ -1,0 +1,19 @@
+//! Client-side consumption model: token buffers, reading rates, stalls.
+//!
+//! The paper's central analogy is between LLM text streaming and video
+//! streaming: generated-but-unread tokens sit in a per-request *output
+//! buffer*, the user drains it at their reading/listening rate, and an empty
+//! buffer at read time is a *stall* (rebuffering). This crate implements
+//! that model exactly:
+//!
+//! * [`TokenBuffer`] — an O(1)-per-event state machine tracking delivered,
+//!   consumed, and buffered tokens, stall episodes, and accumulated
+//!   rebuffer time (the `Rebuffer_i` term of the QoS metric, Eq. 2).
+//! * [`rates`] — the Figure 1 consumption-rate data (reading and listening
+//!   speeds by age group and language).
+
+pub mod buffer;
+pub mod rates;
+
+pub use buffer::{BufferSnapshot, TokenBuffer};
+pub use rates::{AgeGroup, ConsumptionMode, Language};

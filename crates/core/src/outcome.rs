@@ -1,0 +1,32 @@
+//! Simulation results.
+
+use tokenflow_metrics::{RequestMetrics, RunReport, TimeSeries, TokenTimeline};
+use tokenflow_sim::SimDuration;
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Aggregated run-level report.
+    pub report: RunReport,
+    /// Per-request records, indexed by request id.
+    pub records: Vec<RequestMetrics>,
+    /// Queued (waiting + offloaded) request count over time (Figure 14).
+    pub queued_series: TimeSeries,
+    /// Running request count over time (Figure 15).
+    pub running_series: TimeSeries,
+    /// GPU KV pool utilisation over time.
+    pub gpu_util_series: TimeSeries,
+    /// Token timelines for the requests selected by
+    /// [`EngineConfig::timeline_requests`](crate::EngineConfig) (Figures
+    /// 18/19).
+    pub timelines: Vec<TokenTimeline>,
+    /// Name of the scheduling policy that produced this run.
+    pub scheduler: String,
+    /// Total simulated time.
+    pub sim_time: SimDuration,
+    /// Whether every request ran to completion (false when the safety
+    /// deadline cut the run short).
+    pub complete: bool,
+    /// Total engine iterations executed.
+    pub iterations: u64,
+}

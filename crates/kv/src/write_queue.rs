@@ -1,0 +1,269 @@
+//! The write-through buffer (paper §5.1–5.2).
+//!
+//! Newly generated KV entries are *dirty*: they exist only in GPU memory.
+//! Under the write-through policy every dirty token range is queued here and
+//! synced to host memory in the background, so that when the scheduler later
+//! preempts the request most of its cache has already been written back.
+//!
+//! The queue supports the paper's *priority-based write ordering*: requests
+//! with larger output buffers are more likely to be preempted soon, so their
+//! dirty tokens are flushed first (§5.2). A FIFO mode is kept for the
+//! Figure 8 comparison.
+
+use std::collections::VecDeque;
+
+use tokenflow_sim::RequestId;
+
+/// One pending dirty range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WriteItem {
+    req: RequestId,
+    tokens: u64,
+    /// Larger = flushed earlier in priority mode (the owner's buffer size).
+    priority: f64,
+    /// Arrival order for FIFO mode and stable tie-breaking.
+    seq: u64,
+}
+
+/// A chunk pulled from the queue, ready to enqueue on the D2H stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteChunk {
+    /// Owning request.
+    pub req: RequestId,
+    /// Tokens in the chunk.
+    pub tokens: u64,
+}
+
+/// The pending write-through buffer.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_kv::WriteQueue;
+/// use tokenflow_sim::RequestId;
+///
+/// let mut q = WriteQueue::new(true);
+/// q.push(RequestId(0), 100, 5.0);
+/// q.push(RequestId(1), 100, 50.0); // bigger buffer: flushed first
+/// let chunks = q.pull(64, 64);
+/// assert_eq!(chunks[0].req, RequestId(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteQueue {
+    items: VecDeque<WriteItem>,
+    priority_mode: bool,
+    next_seq: u64,
+}
+
+impl WriteQueue {
+    /// Creates a queue; `priority_mode` selects buffer-priority ordering
+    /// (the paper's default) over FIFO.
+    pub fn new(priority_mode: bool) -> Self {
+        WriteQueue {
+            items: VecDeque::new(),
+            priority_mode,
+            next_seq: 0,
+        }
+    }
+
+    /// Adds `tokens` dirty tokens for `req` at the given priority, merging
+    /// with an existing entry for the same request if present.
+    pub fn push(&mut self, req: RequestId, tokens: u64, priority: f64) {
+        if tokens == 0 {
+            return;
+        }
+        if let Some(item) = self.items.iter_mut().find(|i| i.req == req) {
+            item.tokens += tokens;
+            item.priority = priority;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.items.push_back(WriteItem {
+            req,
+            tokens,
+            priority,
+            seq,
+        });
+    }
+
+    /// Updates the flush priority of a request's pending tokens.
+    pub fn set_priority(&mut self, req: RequestId, priority: f64) {
+        if let Some(item) = self.items.iter_mut().find(|i| i.req == req) {
+            item.priority = priority;
+        }
+    }
+
+    /// Removes and returns all pending tokens for `req` (used when the
+    /// request is preempted — the remainder flushes via the eviction path —
+    /// or released).
+    pub fn cancel(&mut self, req: RequestId) -> u64 {
+        let mut removed = 0;
+        self.items.retain(|i| {
+            if i.req == req {
+                removed += i.tokens;
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Pulls up to `budget` tokens of chunks, each at most `max_chunk`
+    /// tokens, in flush order.
+    ///
+    /// In priority mode the highest-priority request flushes first; ties
+    /// break FIFO. Partial pulls leave the remainder queued.
+    pub fn pull(&mut self, budget: u64, max_chunk: u64) -> Vec<WriteChunk> {
+        assert!(max_chunk > 0, "max_chunk must be positive");
+        let mut out = Vec::new();
+        let mut remaining = budget;
+        while remaining > 0 {
+            let idx = match self.next_index() {
+                Some(i) => i,
+                None => break,
+            };
+            let take = self.items[idx].tokens.min(max_chunk).min(remaining);
+            self.items[idx].tokens -= take;
+            let req = self.items[idx].req;
+            if self.items[idx].tokens == 0 {
+                self.items.remove(idx);
+            }
+            out.push(WriteChunk { req, tokens: take });
+            remaining -= take;
+        }
+        out
+    }
+
+    fn next_index(&self) -> Option<usize> {
+        if self.items.is_empty() {
+            return None;
+        }
+        if !self.priority_mode {
+            return Some(0);
+        }
+        let mut best = 0;
+        for i in 1..self.items.len() {
+            let (a, b) = (&self.items[i], &self.items[best]);
+            if a.priority > b.priority || (a.priority == b.priority && a.seq < b.seq) {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Total pending tokens.
+    pub fn pending_tokens(&self) -> u64 {
+        self.items.iter().map(|i| i.tokens).sum()
+    }
+
+    /// Pending tokens for a specific request.
+    pub fn pending_for(&self, req: RequestId) -> u64 {
+        self.items
+            .iter()
+            .filter(|i| i.req == req)
+            .map(|i| i.tokens)
+            .sum()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u64) -> RequestId {
+        RequestId(i)
+    }
+
+    #[test]
+    fn push_merges_same_request() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 10, 1.0);
+        q.push(r(0), 5, 2.0);
+        assert_eq!(q.pending_for(r(0)), 15);
+        assert_eq!(q.pending_tokens(), 15);
+    }
+
+    #[test]
+    fn priority_mode_flushes_largest_buffer_first() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 100, 1.0);
+        q.push(r(1), 100, 9.0);
+        q.push(r(2), 100, 5.0);
+        let order: Vec<u64> = q.pull(300, 100).iter().map(|c| c.req.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn fifo_mode_preserves_arrival_order() {
+        let mut q = WriteQueue::new(false);
+        q.push(r(0), 100, 1.0);
+        q.push(r(1), 100, 9.0);
+        let order: Vec<u64> = q.pull(200, 100).iter().map(|c| c.req.0).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn pull_respects_budget_and_chunk_size() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 1000, 1.0);
+        let chunks = q.pull(300, 128);
+        let total: u64 = chunks.iter().map(|c| c.tokens).sum();
+        assert_eq!(total, 300);
+        assert!(chunks.iter().all(|c| c.tokens <= 128));
+        assert_eq!(q.pending_for(r(0)), 700);
+    }
+
+    #[test]
+    fn pull_stops_when_empty() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 50, 1.0);
+        let chunks = q.pull(1000, 64);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].tokens, 50);
+        assert!(q.is_empty());
+        assert!(q.pull(100, 64).is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_pending() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 40, 1.0);
+        q.push(r(1), 60, 2.0);
+        assert_eq!(q.cancel(r(0)), 40);
+        assert_eq!(q.pending_tokens(), 60);
+        assert_eq!(q.cancel(r(0)), 0);
+    }
+
+    #[test]
+    fn set_priority_reorders() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 10, 1.0);
+        q.push(r(1), 10, 2.0);
+        q.set_priority(r(0), 10.0);
+        let order: Vec<u64> = q.pull(20, 10).iter().map(|c| c.req.0).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn priority_ties_break_fifo() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(5), 10, 3.0);
+        q.push(r(6), 10, 3.0);
+        let order: Vec<u64> = q.pull(20, 10).iter().map(|c| c.req.0).collect();
+        assert_eq!(order, vec![5, 6]);
+    }
+
+    #[test]
+    fn zero_push_is_noop() {
+        let mut q = WriteQueue::new(true);
+        q.push(r(0), 0, 1.0);
+        assert!(q.is_empty());
+    }
+}

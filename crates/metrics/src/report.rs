@@ -1,0 +1,230 @@
+//! Run-level aggregation and percentile summaries.
+
+use serde::{Deserialize, Serialize};
+use tokenflow_sim::SimDuration;
+
+use crate::record::RequestMetrics;
+use crate::weights::QosParams;
+
+/// Percentile summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample set. Returns the zero summary for empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a **sorted** sample set.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty set");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Aggregated results of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of submitted requests.
+    pub submitted: usize,
+    /// Number of completed requests.
+    pub completed: usize,
+    /// Wall-clock duration of the run (simulation time).
+    pub duration: SimDuration,
+    /// TTFT summary in seconds over requests that produced a first token.
+    pub ttft: Summary,
+    /// Raw throughput: generated tokens / duration, tokens/second.
+    pub throughput: f64,
+    /// Effective throughput (§7.1.3): Σ effective weights / duration.
+    pub effective_throughput: f64,
+    /// The QoS scalar of Eq. 2.
+    pub qos: f64,
+    /// Total rebuffering time across requests, seconds.
+    pub total_rebuffer_secs: f64,
+    /// Total stall episodes across requests.
+    pub stall_events: u64,
+    /// Total preemption count across requests.
+    pub preemptions: u64,
+    /// Total recompute count across requests.
+    pub recomputes: u64,
+    /// Mean per-request generation rate over completed requests,
+    /// tokens/second.
+    pub mean_generation_rate: f64,
+}
+
+impl RunReport {
+    /// Aggregates per-request records.
+    pub fn from_records(
+        records: &[RequestMetrics],
+        duration: SimDuration,
+        qos: &QosParams,
+    ) -> RunReport {
+        let dur_secs = duration.as_secs_f64().max(1e-9);
+        let ttfts: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+            .collect();
+        let total_tokens: u64 = records.iter().map(|r| r.generated).sum();
+        let effective: f64 = records.iter().map(|r| r.effective_tokens).sum();
+        let qos_total: f64 = records
+            .iter()
+            .map(|r| r.qos_contribution(qos.lambda, qos.mu))
+            .sum();
+        let gen_rates: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.mean_generation_rate())
+            .collect();
+        RunReport {
+            submitted: records.len(),
+            completed: records.iter().filter(|r| r.completed()).count(),
+            duration,
+            ttft: Summary::of(&ttfts),
+            throughput: total_tokens as f64 / dur_secs,
+            effective_throughput: effective / dur_secs,
+            qos: qos_total / dur_secs,
+            total_rebuffer_secs: records.iter().map(|r| r.rebuffer.as_secs_f64()).sum(),
+            stall_events: records.iter().map(|r| r.stall_events as u64).sum(),
+            preemptions: records.iter().map(|r| r.preemptions as u64).sum(),
+            recomputes: records.iter().map(|r| r.recomputes as u64).sum(),
+            mean_generation_rate: if gen_rates.is_empty() {
+                0.0
+            } else {
+                gen_rates.iter().sum::<f64>() / gen_rates.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokenflow_sim::{RequestId, SimTime};
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.25), 2.0);
+        assert_eq!(percentile(&v, 0.125), 1.5);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.max, 4.0);
+        assert!(s.p99 > s.p50);
+    }
+
+    fn record(id: u64, ttft_ms: u64, generated: u64, effective: f64) -> RequestMetrics {
+        let mut m = RequestMetrics::new(RequestId(id), SimTime::ZERO, 20.0, generated);
+        m.first_token_at = Some(SimTime::from_millis(ttft_ms));
+        m.finished_at = Some(SimTime::from_secs(30));
+        m.generated = generated;
+        m.effective_tokens = effective;
+        m.qos_weight_sum = effective;
+        m
+    }
+
+    #[test]
+    fn report_aggregates_throughputs() {
+        let records = vec![record(0, 500, 600, 500.0), record(1, 1_500, 400, 300.0)];
+        let r = RunReport::from_records(
+            &records,
+            SimDuration::from_secs(10),
+            &QosParams::default(),
+        );
+        assert_eq!(r.submitted, 2);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.throughput, 100.0);
+        assert_eq!(r.effective_throughput, 80.0);
+        assert!((r.ttft.mean - 1.0).abs() < 1e-9);
+        // Effective throughput can never exceed raw throughput.
+        assert!(r.effective_throughput <= r.throughput);
+    }
+
+    #[test]
+    fn report_qos_penalises_latency() {
+        let fast = vec![record(0, 100, 500, 500.0)];
+        let slow = vec![record(0, 20_000, 500, 500.0)];
+        let p = QosParams::default();
+        let d = SimDuration::from_secs(10);
+        let r_fast = RunReport::from_records(&fast, d, &p);
+        let r_slow = RunReport::from_records(&slow, d, &p);
+        assert!(r_fast.qos > r_slow.qos);
+    }
+
+    #[test]
+    fn report_handles_unstarted_requests() {
+        let mut never = RequestMetrics::new(RequestId(0), SimTime::ZERO, 20.0, 100);
+        never.generated = 0;
+        let r = RunReport::from_records(
+            &[never],
+            SimDuration::from_secs(1),
+            &QosParams::default(),
+        );
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.ttft.count, 0);
+        assert_eq!(r.throughput, 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Property tests on metric invariants.
+
+use proptest::prelude::*;
+use tokenflow_metrics::{effective_weight, percentile, qos_token_weight, QosParams, Summary};
+
+proptest! {
+    #[test]
+    fn qos_weight_in_unit_interval(buffered in 0u64..100_000, len in 1u64..10_000) {
+        let w = qos_token_weight(buffered, len, &QosParams::default());
+        prop_assert!((0.0..=1.0).contains(&w));
+        let e = effective_weight(buffered, len);
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn qos_weight_monotone_decreasing(len in 10u64..10_000, b in 0u64..9_999) {
+        let p = QosParams::default();
+        prop_assert!(qos_token_weight(b, len, &p) >= qos_token_weight(b + 1, len, &p));
+    }
+
+    #[test]
+    fn percentiles_are_ordered(mut xs in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = percentile(&xs, 0.50);
+        let p90 = percentile(&xs, 0.90);
+        let p99 = percentile(&xs, 0.99);
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        prop_assert!(*xs.first().unwrap() <= p50);
+        prop_assert!(p99 <= *xs.last().unwrap());
+    }
+
+    #[test]
+    fn summary_bounds(xs in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, xs.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! Model and hardware profiles plus the analytical execution cost model.
+//!
+//! TokenFlow's scheduling behaviour depends only on the *relative* timing of
+//! four quantities: prefill latency, decode iteration latency, PCIe transfer
+//! latency, and the user's token consumption rate. This crate derives the
+//! first three from first principles:
+//!
+//! * [`ModelProfile`] carries the published architecture numbers of the
+//!   models the paper evaluates (Llama3-8B, Qwen2-7B, Qwen2.5-32B), from
+//!   which KV-cache bytes/token and FLOPs/token follow directly.
+//! * [`HardwareProfile`] carries the published capability numbers of the
+//!   GPUs (RTX 4090, A6000, H200, Ascend 910B): memory capacity, memory
+//!   bandwidth, dense FP16 throughput, and host-link (PCIe) bandwidth.
+//! * [`CostModel`] combines the two into iteration latencies: prefill is
+//!   FLOPs-bound, decode is memory-bandwidth-bound (weight reads + KV
+//!   reads), matching the standard roofline analysis of transformer
+//!   inference.
+//!
+//! Absolute numbers will not match the authors' testbed, but the ratios —
+//! which decide who queues, who preempts, and where buffers drain — do.
+
+pub mod cost;
+pub mod hardware;
+pub mod model;
+
+pub use cost::{CostModel, CostOverheads, IterationSpec};
+pub use hardware::HardwareProfile;
+pub use model::{DType, ModelProfile};

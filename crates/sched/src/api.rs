@@ -1,0 +1,298 @@
+//! The engine-facing scheduling interface.
+
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+/// Lifecycle phase of a request as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqPhase {
+    /// Queued with no KV anywhere: needs a (re)prefill to run.
+    WaitingNew,
+    /// KV offloaded to host memory: needs a load (or recompute) to run.
+    WaitingCpu,
+    /// KV transfer in flight (evicting or loading); untouchable until the
+    /// transition completes.
+    Transitioning,
+    /// In the running batch, generating tokens.
+    Running,
+}
+
+/// Read-only per-request state exposed to schedulers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReqView {
+    /// The request.
+    pub id: RequestId,
+    /// Current phase.
+    pub phase: ReqPhase,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Required streaming rate, tokens/second.
+    pub rate: f64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u64,
+    /// Current context length (prompt + generated so far).
+    pub context_tokens: u64,
+    /// Output tokens still to generate.
+    pub remaining_tokens: u64,
+    /// Client buffer occupancy in tokens.
+    pub buffered_tokens: u64,
+    /// Client buffer occupancy in seconds at the required rate.
+    pub buffered_secs: f64,
+    /// Whether the client is stalled right now.
+    pub stalled: bool,
+    /// Whether the request has produced its first token.
+    pub started: bool,
+    /// Estimated seconds to evict this request now (D2H queue + dirty
+    /// flush; near zero under write-through).
+    pub evict_secs: f64,
+    /// Estimated seconds to load this request's KV back (H2D queue + full
+    /// context transfer).
+    pub load_secs: f64,
+    /// GPU tokens this request is committed to allocate but has not yet
+    /// (admitted prompts still prefilling). Admission budgets must subtract
+    /// these.
+    pub reserved_tokens: u64,
+    /// Elastic (agent) client: the rate is a reference priority, not a
+    /// reader to protect — yield first under load, accelerate when idle
+    /// (paper §8).
+    pub elastic: bool,
+}
+
+/// Read-only system state handed to [`Scheduler::plan`] each iteration.
+#[derive(Debug, Clone)]
+pub struct SchedContext {
+    /// Current time.
+    pub now: SimTime,
+    /// All live requests (arrived, not finished), in arrival order.
+    pub requests: Vec<ReqView>,
+    /// Free GPU KV capacity in tokens.
+    pub gpu_free_tokens: u64,
+    /// Total GPU KV capacity in tokens.
+    pub gpu_total_tokens: u64,
+    /// Device-to-host transfer queue depth.
+    pub d2h_queue_len: usize,
+    /// Host-to-device transfer queue depth.
+    pub h2d_queue_len: usize,
+    /// Time for the D2H queue to drain.
+    pub d2h_eta: SimDuration,
+    /// Time for the H2D queue to drain.
+    pub h2d_eta: SimDuration,
+    /// Profiled prefill cost per token, seconds (sliding-window average).
+    pub prefill_secs_per_token: f64,
+    /// Profiled aggregate decode throughput Γ, tokens/second.
+    pub decode_throughput: f64,
+    /// Host link bandwidth, bytes/second.
+    pub pcie_bandwidth: f64,
+    /// KV bytes per token.
+    pub kv_bytes_per_token: u64,
+    /// Hard cap on concurrently running requests.
+    pub max_batch: u32,
+}
+
+impl SchedContext {
+    /// Views filtered to a phase.
+    pub fn in_phase(&self, phase: ReqPhase) -> impl Iterator<Item = &ReqView> {
+        self.requests.iter().filter(move |r| r.phase == phase)
+    }
+
+    /// Number of requests in a phase.
+    pub fn count_phase(&self, phase: ReqPhase) -> usize {
+        self.in_phase(phase).count()
+    }
+
+    /// Estimated time to transfer one request's full context over the host
+    /// link.
+    pub fn transfer_secs(&self, context_tokens: u64) -> f64 {
+        (context_tokens * self.kv_bytes_per_token) as f64 / self.pcie_bandwidth
+    }
+
+    /// Estimated time to recompute a context from scratch (prefill).
+    pub fn recompute_secs(&self, context_tokens: u64) -> f64 {
+        context_tokens as f64 * self.prefill_secs_per_token
+    }
+}
+
+/// How an eviction should be carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptMode {
+    /// Offload the KV cache to host memory (resume by loading it back).
+    Offload,
+    /// Discard the KV cache (resume by recomputing the prefill). Baselines
+    /// without hierarchical memory use this.
+    Discard,
+}
+
+/// One scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Start (or restart, after a discard) this request's prefill.
+    AdmitPrefill(RequestId),
+    /// Load this host-resident request's KV back onto the GPU.
+    Resume(RequestId),
+    /// Remove this running request from the batch.
+    Preempt {
+        /// The victim.
+        id: RequestId,
+        /// Offload or discard.
+        mode: PreemptMode,
+    },
+}
+
+/// The scheduler's output for one iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedPlan {
+    /// Decisions, applied in order.
+    pub actions: Vec<Action>,
+}
+
+impl SchedPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        SchedPlan::default()
+    }
+
+    /// True when the plan makes no changes.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// How prefill work is batched into iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefillPolicy {
+    /// Whole prompts run in dedicated prefill iterations, prioritised over
+    /// decode (SGLang default).
+    Full,
+    /// At most this many prompt tokens are mixed into each decode iteration
+    /// (Sarathi-style chunked prefill).
+    Chunked(u64),
+}
+
+/// A scheduling policy.
+///
+/// Implementations must be deterministic: identical contexts must produce
+/// identical plans, so simulation runs reproduce bit-for-bit.
+pub trait Scheduler {
+    /// Short policy name for reports (e.g. `"TokenFlow"`).
+    fn name(&self) -> &'static str;
+
+    /// Produces this iteration's plan.
+    fn plan(&mut self, ctx: &SchedContext) -> SchedPlan;
+
+    /// How the engine should batch prefill work.
+    fn prefill_policy(&self) -> PrefillPolicy {
+        PrefillPolicy::Full
+    }
+
+    /// Whether a running request should decode this iteration.
+    ///
+    /// Pacing policies return `false` for requests whose buffers are
+    /// already past the useful threshold *when another request could use
+    /// the capacity*; the default never gates.
+    fn decode_gate(&self, view: &ReqView, ctx: &SchedContext) -> bool {
+        let _ = (view, ctx);
+        true
+    }
+
+    /// Preemption mode for the engine's emergency out-of-memory path.
+    fn emergency_preempt_mode(&self) -> PreemptMode {
+        PreemptMode::Discard
+    }
+
+    /// Victim choice for the engine's emergency out-of-memory path.
+    ///
+    /// The default mirrors SGLang/vLLM: preempt the most recently arrived
+    /// running request (lowest FCFS priority).
+    fn emergency_victim(&self, ctx: &SchedContext) -> Option<RequestId> {
+        ctx.in_phase(ReqPhase::Running)
+            .max_by_key(|r| (r.arrival, r.id))
+            .map(|r| r.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: u64, phase: ReqPhase) -> ReqView {
+        ReqView {
+            id: RequestId(id),
+            phase,
+            arrival: SimTime::from_secs(id),
+            rate: 20.0,
+            prompt_tokens: 100,
+            context_tokens: 100,
+            remaining_tokens: 100,
+            buffered_tokens: 0,
+            buffered_secs: 0.0,
+            stalled: false,
+            started: false,
+            evict_secs: 0.0,
+            load_secs: 0.0,
+            reserved_tokens: 0,
+            elastic: false,
+        }
+    }
+
+    fn ctx(requests: Vec<ReqView>) -> SchedContext {
+        SchedContext {
+            now: SimTime::ZERO,
+            requests,
+            gpu_free_tokens: 10_000,
+            gpu_total_tokens: 20_000,
+            d2h_queue_len: 0,
+            h2d_queue_len: 0,
+            d2h_eta: SimDuration::ZERO,
+            h2d_eta: SimDuration::ZERO,
+            prefill_secs_per_token: 1e-4,
+            decode_throughput: 2_000.0,
+            pcie_bandwidth: 25e9,
+            kv_bytes_per_token: 131_072,
+            max_batch: 64,
+        }
+    }
+
+    #[test]
+    fn phase_filters() {
+        let c = ctx(vec![
+            view(0, ReqPhase::Running),
+            view(1, ReqPhase::WaitingNew),
+            view(2, ReqPhase::Running),
+        ]);
+        assert_eq!(c.count_phase(ReqPhase::Running), 2);
+        assert_eq!(c.count_phase(ReqPhase::WaitingNew), 1);
+        assert_eq!(c.count_phase(ReqPhase::WaitingCpu), 0);
+    }
+
+    #[test]
+    fn transfer_and_recompute_estimates() {
+        let c = ctx(vec![]);
+        // 1000 tokens × 131072 B / 25 GB/s ≈ 5.24 ms.
+        assert!((c.transfer_secs(1000) - 0.00524).abs() < 1e-4);
+        // 1000 tokens × 0.1 ms = 0.1 s.
+        assert!((c.recompute_secs(1000) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_emergency_victim_is_latest_arrival() {
+        struct Dummy;
+        impl Scheduler for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn plan(&mut self, _ctx: &SchedContext) -> SchedPlan {
+                SchedPlan::none()
+            }
+        }
+        let c = ctx(vec![
+            view(0, ReqPhase::Running),
+            view(5, ReqPhase::Running),
+            view(9, ReqPhase::WaitingNew),
+        ]);
+        assert_eq!(Dummy.emergency_victim(&c), Some(RequestId(5)));
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(SchedPlan::none().is_empty());
+    }
+}

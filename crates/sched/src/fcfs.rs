@@ -1,0 +1,166 @@
+//! The SGLang-style FCFS baseline scheduler.
+//!
+//! Conservative first-come-first-served with prefill priority: requests are
+//! admitted strictly in arrival order while GPU memory lasts (head-of-line
+//! blocking included), never preempted proactively, and evicted for
+//! recompute only when the engine hits memory pressure. This is the paper's
+//! primary baseline and exhibits exactly the burst pathology of Figure 2:
+//! queued requests starve on TTFT while running requests generate far
+//! beyond their readers' consumption rate.
+
+use crate::api::{PrefillPolicy, SchedContext, SchedPlan, Scheduler};
+use crate::util::{fcfs_admissions, AdmissionCosting};
+
+/// SGLang-style conservative FCFS scheduling.
+///
+/// Admission reserves the request's **full remaining output** (as SGLang
+/// and vLLM do for non-preemptive serving), which serialises admission
+/// waves under burst — the Figure 2 pathology.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_sched::{FcfsScheduler, Scheduler};
+///
+/// let s = FcfsScheduler::new();
+/// assert_eq!(s.name(), "SGLang");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FcfsScheduler {
+    costing: AdmissionCosting,
+}
+
+impl FcfsScheduler {
+    /// Creates the scheduler with SGLang's conservative full-output
+    /// admission reserve.
+    pub fn new() -> Self {
+        FcfsScheduler {
+            costing: AdmissionCosting::Conservative,
+        }
+    }
+
+    /// Uses a small headroom reserve instead of the conservative one
+    /// (useful for isolating admission effects in experiments).
+    pub fn with_headroom(headroom: u64) -> Self {
+        FcfsScheduler {
+            costing: AdmissionCosting::Headroom(headroom),
+        }
+    }
+}
+
+impl Default for FcfsScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "SGLang"
+    }
+
+    fn plan(&mut self, ctx: &SchedContext) -> SchedPlan {
+        SchedPlan {
+            actions: fcfs_admissions(ctx, self.costing, true),
+        }
+    }
+
+    fn prefill_policy(&self) -> PrefillPolicy {
+        PrefillPolicy::Full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Action, ReqPhase, ReqView};
+    use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+    fn view(id: u64, phase: ReqPhase) -> ReqView {
+        ReqView {
+            id: RequestId(id),
+            phase,
+            arrival: SimTime::from_secs(id),
+            rate: 20.0,
+            prompt_tokens: 100,
+            context_tokens: 100,
+            remaining_tokens: 200,
+            buffered_tokens: 0,
+            buffered_secs: 0.0,
+            stalled: false,
+            started: false,
+            evict_secs: 0.0,
+            load_secs: 0.0,
+            reserved_tokens: 0,
+            elastic: false,
+        }
+    }
+
+    fn ctx(requests: Vec<ReqView>, free: u64) -> SchedContext {
+        SchedContext {
+            now: SimTime::ZERO,
+            requests,
+            gpu_free_tokens: free,
+            gpu_total_tokens: 20_000,
+            d2h_queue_len: 0,
+            h2d_queue_len: 0,
+            d2h_eta: SimDuration::ZERO,
+            h2d_eta: SimDuration::ZERO,
+            prefill_secs_per_token: 1e-4,
+            decode_throughput: 2_000.0,
+            pcie_bandwidth: 25e9,
+            kv_bytes_per_token: 131_072,
+            max_batch: 64,
+        }
+    }
+
+    #[test]
+    fn admits_fifo_until_memory_runs_out() {
+        let mut s = FcfsScheduler::new();
+        // Conservative cost is 300 tokens each; 700 free fits two.
+        let c = ctx(
+            vec![
+                view(0, ReqPhase::WaitingNew),
+                view(1, ReqPhase::WaitingNew),
+                view(2, ReqPhase::WaitingNew),
+            ],
+            700,
+        );
+        let plan = s.plan(&c);
+        assert_eq!(
+            plan.actions,
+            vec![
+                Action::AdmitPrefill(RequestId(0)),
+                Action::AdmitPrefill(RequestId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn never_preempts() {
+        let mut s = FcfsScheduler::new();
+        let mut rich = view(0, ReqPhase::Running);
+        rich.buffered_secs = 100.0;
+        rich.buffered_tokens = 2_000;
+        let c = ctx(vec![rich, view(1, ReqPhase::WaitingNew)], 0);
+        let plan = s.plan(&c);
+        assert!(
+            plan.actions
+                .iter()
+                .all(|a| !matches!(a, Action::Preempt { .. })),
+            "FCFS must not preempt: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn idle_context_produces_empty_plan() {
+        let mut s = FcfsScheduler::new();
+        let c = ctx(vec![view(0, ReqPhase::Running)], 10_000);
+        assert!(s.plan(&c).is_empty());
+    }
+
+    #[test]
+    fn uses_full_prefill_policy() {
+        assert_eq!(FcfsScheduler::new().prefill_policy(), PrefillPolicy::Full);
+    }
+}

@@ -1,0 +1,736 @@
+//! The TokenFlow buffer-aware two-step scheduler (paper §4).
+//!
+//! Step 1 — **working-set determination** (§4.2.1): a static upper bound
+//! `W_static = ⌊M/β⌋` (Eq. 4) from GPU capacity and the observed per-request
+//! footprint, shrunk toward the current running count when the system is
+//! under-utilised (Eq. 5). Scheduling is time-sliced: the full pass runs
+//! every `Δt` and only under stress (pending requests, or a running buffer
+//! below the critical threshold); otherwise a prefill-first fast path
+//! admits arrivals like FCFS.
+//!
+//! Step 2 — **buffer balancing** (§4.2.2): every schedulable request gets a
+//! priority `U_i = v_i·t′ + γ·φ(b_pred)` where `v_i` is the effective token
+//! value at its buffer level, `t′` discounts candidates by their context
+//! switch overhead, and `φ(b) = e^{−b}` boosts near-empty buffers. (The
+//! paper writes `−γ·φ` while also calling φ a starvation-prevention boost
+//! for empty buffers — §4.1/§4.2.2 make the intent unambiguous: smaller
+//! buffer ⇒ higher priority — so the boost enters positively here.)
+//! A greedy pass fills the working set under the memory budget; a local
+//! search then swaps boundary pairs when that improves total utility.
+//!
+//! §4.2.3 — resumed requests pick the cheaper of reloading
+//! (`t_IO = queueing + transfer`) and recomputation (sliding-window prefill
+//! estimate). §4.3 — the working set's aggregate demand is capped at the
+//! profiled capacity (`Σ rᵢ ≤ Γ` enforced during selection); excess
+//! requests stay queued in arrival order, which is exactly the graceful
+//! FCFS degradation the paper describes.
+
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+use crate::api::{
+    Action, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan, Scheduler,
+};
+use crate::util::{admission_cost, fcfs_admissions, largest_buffer_running, token_value, AdmissionCosting};
+
+/// Tunable parameters of the TokenFlow policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenFlowParams {
+    /// Rescheduling interval `Δt` (paper sweeps 0.5–1.5 s, Figure 22).
+    pub schedule_interval: SimDuration,
+    /// Buffer conservativeness `μ ≥ 1`: a preemption victim's buffer must
+    /// cover `μ ×` the estimated switch latency (Figure 23 sweeps 1–20).
+    pub buffer_conservativeness: f64,
+    /// Working-set shrink rate `λ` of Eq. 5.
+    pub ws_adjust_rate: f64,
+    /// Utility weight `γ` on the empty-buffer boost `φ`.
+    pub gamma: f64,
+    /// A running buffer below this many seconds triggers an off-interval
+    /// scheduling pass (`T_critical`).
+    pub critical_buffer_secs: f64,
+    /// Decode-growth reserve per admission, tokens.
+    pub headroom_tokens: u64,
+    /// Memory fill target as a fraction of KV capacity.
+    pub util_target: f64,
+    /// Cap on preempt/resume transitions issued per pass (I/O-load
+    /// awareness, §3.1).
+    pub max_transitions: usize,
+    /// Defer further evictions when the D2H queue ETA exceeds this fraction
+    /// of the schedule interval.
+    pub io_backpressure: f64,
+    /// Fraction of the estimated capacity Γ that service admission may
+    /// commit (§4.3). Rotation and transition overheads make the usable
+    /// capacity less than the roofline; admitting right up to Γ converts
+    /// the shortfall into reader stalls.
+    pub capacity_safety: f64,
+    /// Prefill chunk size mixed into decode iterations.
+    pub prefill_chunk: u64,
+}
+
+impl Default for TokenFlowParams {
+    fn default() -> Self {
+        TokenFlowParams {
+            schedule_interval: SimDuration::from_millis(500),
+            buffer_conservativeness: 2.0,
+            ws_adjust_rate: 0.5,
+            gamma: 1.0,
+            critical_buffer_secs: 1.0,
+            headroom_tokens: 64,
+            util_target: 0.92,
+            max_transitions: 256,
+            io_backpressure: 1.0,
+            capacity_safety: 0.8,
+            prefill_chunk: 2_048,
+        }
+    }
+}
+
+/// The buffer-aware preemptive scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_sched::{Scheduler, TokenFlowScheduler};
+///
+/// let s = TokenFlowScheduler::new();
+/// assert_eq!(s.name(), "TokenFlow");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenFlowScheduler {
+    params: TokenFlowParams,
+    last_schedule: Option<SimTime>,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    id: RequestId,
+    phase: ReqPhase,
+    priority: f64,
+    cost: u64,
+    rate: f64,
+    elastic: bool,
+    arrival: SimTime,
+    /// For `WaitingCpu`: whether recompute beats reloading.
+    prefer_recompute: bool,
+    /// Whether preempting this (running) request is safe for its reader.
+    safe_to_preempt: bool,
+}
+
+impl TokenFlowScheduler {
+    /// Creates the scheduler with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(TokenFlowParams::default())
+    }
+
+    /// Creates the scheduler with explicit parameters.
+    pub fn with_params(params: TokenFlowParams) -> Self {
+        TokenFlowScheduler {
+            params,
+            last_schedule: None,
+        }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &TokenFlowParams {
+        &self.params
+    }
+
+    /// Eq. 4/5: the working-set size for this pass.
+    fn working_set_size(&self, ctx: &SchedContext) -> usize {
+        // β: observed per-request memory footprint — the *current* context
+        // length (the working set overcommits against future growth; the
+        // buffer-balancing step reclaims memory as contexts grow).
+        let live: Vec<f64> = ctx
+            .requests
+            .iter()
+            .map(|r| r.context_tokens as f64)
+            .collect();
+        let beta = if live.is_empty() {
+            1_024.0
+        } else {
+            (live.iter().sum::<f64>() / live.len() as f64).max(64.0)
+        };
+        let m = ctx.gpu_total_tokens as f64 * self.params.util_target;
+        let w_static = (m / beta).floor().max(1.0);
+        let n_running = ctx.count_phase(ReqPhase::Running) as f64;
+        let w = if n_running < w_static {
+            w_static - self.params.ws_adjust_rate * (w_static - n_running)
+        } else {
+            w_static
+        };
+        (w.ceil() as usize)
+            .max(ctx.count_phase(ReqPhase::Running).min(ctx.max_batch as usize))
+            .min(ctx.max_batch as usize)
+            .max(1)
+    }
+
+    /// The per-candidate switch overhead `t_overhead` of the problem
+    /// formulation: zero for running requests; `min(t_IO, t_recompute)` for
+    /// offloaded ones; the prefill time for new ones.
+    fn switch_overhead_secs(r: &ReqView, ctx: &SchedContext) -> f64 {
+        match r.phase {
+            ReqPhase::Running => 0.0,
+            ReqPhase::WaitingCpu => r.load_secs.min(ctx.recompute_secs(r.context_tokens)),
+            ReqPhase::WaitingNew => ctx.recompute_secs(r.prompt_tokens),
+            ReqPhase::Transitioning => f64::INFINITY,
+        }
+    }
+
+    /// The priority `U_i` (Eq. 3 with the sign reconciliation documented in
+    /// the module header).
+    fn utility(&self, r: &ReqView, ctx: &SchedContext) -> f64 {
+        let interval = self.params.schedule_interval.as_secs_f64();
+        let overhead = Self::switch_overhead_secs(r, ctx);
+        // Effective generation share of the next interval.
+        let t_eff = ((interval - overhead) / interval).max(0.0);
+        // Predicted buffer at the point the request would actually resume
+        // generating (b_pred of the formulation): the reader keeps draining
+        // during the switch.
+        let b_pred = (r.buffered_secs - overhead).max(0.0);
+        let phi = if r.elastic && r.started {
+            // §8: an agent's reference rate is a static priority signal,
+            // not a starvation deadline — it scales a modest boost so
+            // agents fill idle capacity and yield first under contention.
+            0.2 * (r.rate / 30.0).min(1.0)
+        } else if r.started {
+            (-b_pred).exp()
+        } else {
+            // An unstarted request is in the worst state a reader can be
+            // in — waiting for the first token — and the QoS TTFT penalty
+            // grows linearly with every second it queues. Age its boost so
+            // it cannot starve behind resume cycles.
+            let waited = ctx.now.saturating_since(r.arrival).as_secs_f64();
+            1.0 + 0.05 * waited
+        };
+        let v = if r.started { token_value(r) } else { 1.0 };
+        v * t_eff + self.params.gamma * phi
+    }
+
+    /// Whether a running request's reader can absorb a
+    /// preempt-resume-reschedule cycle without stalling (§4.2.1 admission
+    /// guard): `b_rem ≥ μ · r · (τ_evict + τ_load + τ_sched)`. Agent
+    /// clients have no reader to stall and are always safe to preempt.
+    fn safe_to_preempt(&self, r: &ReqView) -> bool {
+        if r.elastic {
+            return true;
+        }
+        let tau = r.evict_secs + r.load_secs + self.params.schedule_interval.as_secs_f64();
+        r.buffered_secs >= self.params.buffer_conservativeness * tau
+    }
+
+    fn full_pass(&mut self, ctx: &SchedContext) -> SchedPlan {
+        let w_sched = self.working_set_size(ctx);
+        // Discount memory already committed to transitioning requests
+        // (loads in flight, prompts mid-prefill).
+        let committed: u64 = ctx
+            .in_phase(ReqPhase::Transitioning)
+            .map(|r| r.context_tokens + r.reserved_tokens)
+            .sum();
+        let budget_total = ((ctx.gpu_total_tokens as f64 * self.params.util_target) as u64)
+            .saturating_sub(committed);
+
+        // Build candidates: everything schedulable this pass.
+        let mut candidates: Vec<Candidate> = ctx
+            .requests
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.phase,
+                    ReqPhase::Running | ReqPhase::WaitingNew | ReqPhase::WaitingCpu
+                )
+            })
+            .map(|r| Candidate {
+                id: r.id,
+                phase: r.phase,
+                priority: self.utility(r, ctx),
+                cost: admission_cost(r, self.params.headroom_tokens),
+                rate: r.rate,
+                elastic: r.elastic,
+                arrival: r.arrival,
+                prefer_recompute: r.phase == ReqPhase::WaitingCpu
+                    && ctx.recompute_secs(r.context_tokens) < r.load_secs,
+                safe_to_preempt: r.phase == ReqPhase::Running && self.safe_to_preempt(r),
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.priority
+                .partial_cmp(&a.priority)
+                .expect("priorities are finite")
+                .then(a.arrival.cmp(&b.arrival))
+                .then(a.id.cmp(&b.id))
+        });
+
+        // §4.3 schedulability: the *service set* — every request being
+        // actively multiplexed, resident or offloaded — may not demand more
+        // aggregate streaming rate than the capacity Γ. New requests enter
+        // service only while headroom remains; the excess stays queued in
+        // arrival order (graceful FCFS degradation, not collapse). Requests
+        // already in service (running, offloaded, transitioning) keep their
+        // reservation: evicting them does not release rate, only memory.
+        let gamma = ctx.decode_throughput * self.params.capacity_safety;
+        let mut service_rate: f64 = ctx
+            .requests
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.phase,
+                    ReqPhase::Running | ReqPhase::Transitioning | ReqPhase::WaitingCpu
+                )
+            })
+            .map(|r| if r.elastic { 0.25 * r.rate } else { r.rate })
+            .sum();
+        let mut new_by_arrival: Vec<usize> = (0..candidates.len())
+            .filter(|&i| candidates[i].phase == ReqPhase::WaitingNew)
+            .collect();
+        new_by_arrival.sort_by_key(|&i| (candidates[i].arrival, candidates[i].id));
+        let mut rate_blocked: Vec<bool> = vec![false; candidates.len()];
+        for i in new_by_arrival {
+            // Elastic agents reserve only a sliver of their reference rate:
+            // they can be throttled arbitrarily, so they never crowd out
+            // interactive admission (§8).
+            let reserve = if candidates[i].elastic {
+                0.25 * candidates[i].rate
+            } else {
+                candidates[i].rate
+            };
+            if service_rate + reserve <= gamma {
+                service_rate += reserve;
+            } else {
+                rate_blocked[i] = true;
+            }
+        }
+
+        // Pin running requests that cannot be preempted safely: they stay in
+        // the working set regardless of rank (preempting them would stall
+        // their reader immediately).
+        let mut selected: Vec<usize> = Vec::new();
+        let mut used = 0u64;
+        let mut slots = w_sched.saturating_sub(ctx.count_phase(ReqPhase::Transitioning)).max(1);
+        for (i, c) in candidates.iter().enumerate() {
+            if c.phase == ReqPhase::Running && !c.safe_to_preempt && slots > 0 {
+                selected.push(i);
+                used += c.cost;
+                slots -= 1;
+            }
+        }
+        // Greedy residency fill by priority under the memory and slot
+        // budgets (residents generate at full speed in spurts, so rate does
+        // not constrain this step).
+        for (i, c) in candidates.iter().enumerate() {
+            if slots == 0 {
+                break;
+            }
+            if selected.contains(&i) || rate_blocked[i] {
+                continue;
+            }
+            if used + c.cost > budget_total {
+                continue;
+            }
+            selected.push(i);
+            used += c.cost;
+            slots -= 1;
+        }
+        // Local search (§4.2.2): try swapping the lowest-priority selected
+        // entries with higher-cost skipped neighbours when the utility gain
+        // is positive and memory stays feasible.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            let unselected: Vec<usize> = (0..candidates.len())
+                .filter(|i| !selected.contains(i) && !rate_blocked[*i])
+                .collect();
+            for &j in &unselected {
+                // Find the weakest swappable selected entry.
+                let weakest = selected
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        // Pinned running requests never swap out.
+                        candidates[i].phase != ReqPhase::Running
+                            || candidates[i].safe_to_preempt
+                    })
+                    .min_by(|&a, &b| {
+                        candidates[a]
+                            .priority
+                            .partial_cmp(&candidates[b].priority)
+                            .expect("priorities are finite")
+                    });
+                let Some(i) = weakest else { break };
+                let gain = candidates[j].priority - candidates[i].priority;
+                let new_used = used - candidates[i].cost + candidates[j].cost;
+                if gain > 1e-12 && new_used <= budget_total {
+                    selected.retain(|&k| k != i);
+                    selected.push(j);
+                    used = new_used;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        // Diff against the current state, respecting the transition cap and
+        // I/O backpressure.
+        let interval = self.params.schedule_interval.as_secs_f64();
+        let io_loaded = ctx.d2h_eta.as_secs_f64() > self.params.io_backpressure * interval;
+        let mut transitions = 0usize;
+        let mut actions = Vec::new();
+
+        let selected_ids: Vec<RequestId> = selected.iter().map(|&i| candidates[i].id).collect();
+        // Preemptions first: they free the memory admissions need.
+        for c in &candidates {
+            if c.phase == ReqPhase::Running && !selected_ids.contains(&c.id) {
+                if !c.safe_to_preempt || io_loaded || transitions >= self.params.max_transitions {
+                    continue;
+                }
+                actions.push(Action::Preempt {
+                    id: c.id,
+                    mode: PreemptMode::Offload,
+                });
+                transitions += 1;
+            }
+        }
+        let mut admits: Vec<&Candidate> = candidates
+            .iter()
+            .filter(|c| {
+                selected_ids.contains(&c.id)
+                    && matches!(c.phase, ReqPhase::WaitingNew | ReqPhase::WaitingCpu)
+            })
+            .collect();
+        admits.sort_by_key(|c| (c.arrival, c.id));
+        for c in admits {
+            if transitions >= self.params.max_transitions {
+                break;
+            }
+            actions.push(match (c.phase, c.prefer_recompute) {
+                (ReqPhase::WaitingNew, _) => Action::AdmitPrefill(c.id),
+                (ReqPhase::WaitingCpu, true) => Action::AdmitPrefill(c.id),
+                (ReqPhase::WaitingCpu, false) => Action::Resume(c.id),
+                _ => unreachable!("filtered to waiting phases"),
+            });
+            transitions += 1;
+        }
+        SchedPlan { actions }
+    }
+}
+
+impl Default for TokenFlowScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for TokenFlowScheduler {
+    fn name(&self) -> &'static str {
+        "TokenFlow"
+    }
+
+    fn plan(&mut self, ctx: &SchedContext) -> SchedPlan {
+        let due = self
+            .last_schedule
+            .is_none_or(|t| ctx.now >= t + self.params.schedule_interval);
+        let stressed = ctx.count_phase(ReqPhase::WaitingNew) > 0
+            || ctx.count_phase(ReqPhase::WaitingCpu) > 0
+            || ctx
+                .in_phase(ReqPhase::Running)
+                .any(|r| r.started && r.buffered_secs < self.params.critical_buffer_secs);
+
+        // Time-sliced activation (§4.2.1): the full pass runs only at the
+        // interval and under stress; otherwise the prefill-first fast path.
+        if !(due && stressed) {
+            return SchedPlan {
+                actions: fcfs_admissions(
+                    ctx,
+                    AdmissionCosting::Headroom(self.params.headroom_tokens),
+                    false,
+                ),
+            };
+        }
+        self.last_schedule = Some(ctx.now);
+        self.full_pass(ctx)
+    }
+
+    fn prefill_policy(&self) -> PrefillPolicy {
+        PrefillPolicy::Chunked(self.params.prefill_chunk)
+    }
+
+    fn decode_gate(&self, view: &ReqView, ctx: &SchedContext) -> bool {
+        // Pause generation once the buffer reaches the full-value threshold
+        // (10 % of the total output, §7.1.3): every token generated below it
+        // carries weight 1, so pacing here is the "just-in-time" delivery of
+        // §3.1 and produces the plateaus of Figure 18. Pacing only engages
+        // while someone can use the freed capacity — with an empty queue,
+        // finishing fast maximises turnover and loses nothing.
+        if !view.started || view.elastic {
+            return true;
+        }
+        let has_beneficiary = ctx.count_phase(ReqPhase::WaitingNew) > 0
+            || ctx.count_phase(ReqPhase::WaitingCpu) > 0
+            || ctx.count_phase(ReqPhase::Transitioning) > 0;
+        if !has_beneficiary {
+            return true;
+        }
+        let generated = view.context_tokens - view.prompt_tokens;
+        let total_output = (generated + view.remaining_tokens).max(1);
+        (view.buffered_tokens as f64) < 0.10 * total_output as f64
+    }
+
+    fn emergency_preempt_mode(&self) -> PreemptMode {
+        PreemptMode::Offload
+    }
+
+    fn emergency_victim(&self, ctx: &SchedContext) -> Option<RequestId> {
+        largest_buffer_running(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: u64, phase: ReqPhase) -> ReqView {
+        ReqView {
+            id: RequestId(id),
+            phase,
+            arrival: SimTime::from_secs(id),
+            rate: 20.0,
+            prompt_tokens: 100,
+            context_tokens: 100,
+            remaining_tokens: 900,
+            buffered_tokens: 0,
+            buffered_secs: 0.0,
+            stalled: false,
+            started: false,
+            evict_secs: 0.01,
+            load_secs: 0.05,
+            reserved_tokens: 0,
+            elastic: false,
+        }
+    }
+
+    fn ctx(requests: Vec<ReqView>, free: u64, total: u64) -> SchedContext {
+        SchedContext {
+            now: SimTime::from_secs(100),
+            requests,
+            gpu_free_tokens: free,
+            gpu_total_tokens: total,
+            d2h_queue_len: 0,
+            h2d_queue_len: 0,
+            d2h_eta: SimDuration::ZERO,
+            h2d_eta: SimDuration::ZERO,
+            prefill_secs_per_token: 1e-4,
+            decode_throughput: 2_000.0,
+            pcie_bandwidth: 25e9,
+            kv_bytes_per_token: 131_072,
+            max_batch: 64,
+        }
+    }
+
+    fn running_with_buffer(id: u64, buffered_secs: f64) -> ReqView {
+        let mut r = view(id, ReqPhase::Running);
+        r.started = true;
+        r.buffered_secs = buffered_secs;
+        r.buffered_tokens = (buffered_secs * r.rate) as u64;
+        r
+    }
+
+    fn with_context(mut r: ReqView, context: u64) -> ReqView {
+        r.context_tokens = context;
+        r.prompt_tokens = context.min(r.prompt_tokens);
+        r
+    }
+
+    #[test]
+    fn preempts_high_buffer_for_waiting_under_pressure() {
+        let mut s = TokenFlowScheduler::new();
+        // Tight memory: two 600-token contexts cannot both fit in a
+        // 1300-token pool at 92% utilisation.
+        let rich = with_context(running_with_buffer(0, 30.0), 600);
+        let waiting = with_context(view(1, ReqPhase::WaitingNew), 600);
+        let c = ctx(vec![rich, waiting], 0, 1_300);
+        let plan = s.plan(&c);
+        assert!(
+            plan.actions.contains(&Action::Preempt {
+                id: RequestId(0),
+                mode: PreemptMode::Offload
+            }),
+            "rich buffer must be offloaded: {plan:?}"
+        );
+        assert!(plan.actions.contains(&Action::AdmitPrefill(RequestId(1))));
+    }
+
+    #[test]
+    fn never_preempts_thin_buffers() {
+        let mut s = TokenFlowScheduler::new();
+        // Buffer below μ·(τ_evict+τ_load+τ_sched) ≈ 2·(0.06+1.0) ≈ 2.1 s.
+        let thin = with_context(running_with_buffer(0, 1.0), 600);
+        let waiting = with_context(view(1, ReqPhase::WaitingNew), 600);
+        let c = ctx(vec![thin, waiting], 0, 1_300);
+        let plan = s.plan(&c);
+        assert!(
+            !plan
+                .actions
+                .iter()
+                .any(|a| matches!(a, Action::Preempt { id, .. } if *id == RequestId(0))),
+            "thin buffer is pinned: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn buffer_conservativeness_raises_preemption_bar() {
+        let params = TokenFlowParams {
+            buffer_conservativeness: 20.0,
+            ..TokenFlowParams::default()
+        };
+        let mut cautious = TokenFlowScheduler::with_params(params);
+        // 5 s of buffer clears μ=2 (bar ≈ 2.1 s) but not μ=20 (bar ≈ 21 s).
+        let medium = with_context(running_with_buffer(0, 5.0), 600);
+        let waiting = with_context(view(1, ReqPhase::WaitingNew), 600);
+        let c = ctx(vec![medium, waiting], 0, 1_300);
+        let plan = cautious.plan(&c);
+        assert!(
+            !plan
+                .actions
+                .iter()
+                .any(|a| matches!(a, Action::Preempt { .. })),
+            "μ=20 must behave conservatively: {plan:?}"
+        );
+        let mut aggressive = TokenFlowScheduler::new();
+        let plan = aggressive.plan(&c);
+        assert!(
+            plan.actions
+                .iter()
+                .any(|a| matches!(a, Action::Preempt { .. })),
+            "μ=2 should preempt: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn working_set_demand_capped_at_gamma() {
+        // §4.3: aggregate demand 30 × 100 = 3000 tok/s exceeds Γ = 2000;
+        // the selected working set must not exceed capacity — the excess
+        // is preempted (safe: 50 s buffers) and queued rather than served
+        // beyond Γ.
+        let mut s = TokenFlowScheduler::new();
+        let mut requests: Vec<ReqView> = (0..100)
+            .map(|i| {
+                let mut r = running_with_buffer(i, 50.0);
+                r.rate = 30.0;
+                r
+            })
+            .collect();
+        requests.push(view(100, ReqPhase::WaitingNew));
+        let c = ctx(requests, 0, 200_000);
+        let plan = s.plan(&c);
+        let preempts = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, Action::Preempt { .. }))
+            .count();
+        let admits = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a, Action::AdmitPrefill(_) | Action::Resume(_)))
+            .count();
+        let kept_running = 100 - preempts;
+        let demand = (kept_running + admits) as f64 * 30.0;
+        assert!(
+            demand <= 2_000.0 + 30.0,
+            "working set demand {demand} exceeds Γ: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn fast_path_between_intervals() {
+        let mut s = TokenFlowScheduler::new();
+        let rich = with_context(running_with_buffer(0, 30.0), 600);
+        let waiting = with_context(view(1, ReqPhase::WaitingNew), 600);
+        let c = ctx(vec![rich, waiting], 0, 1_300);
+        let _ = s.plan(&c); // full pass at t = 100
+        // 1 ms later: not due, only plain admissions may happen.
+        let mut c2 = ctx(vec![rich, waiting], 0, 1_300);
+        c2.now = SimTime::from_secs(100) + SimDuration::from_millis(1);
+        let plan = s.plan(&c2);
+        assert!(
+            plan.actions
+                .iter()
+                .all(|a| !matches!(a, Action::Preempt { .. })),
+            "between intervals no preemption: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn resume_prefers_cheaper_path() {
+        let mut s = TokenFlowScheduler::new();
+        // Loading is cheap (50 ms) vs recompute (100 tokens × 0.1 ms =
+        // 10 ms): recompute wins here.
+        let mut cpu = view(0, ReqPhase::WaitingCpu);
+        cpu.load_secs = 0.05;
+        cpu.context_tokens = 100;
+        let c = ctx(vec![cpu], 10_000, 20_000);
+        let plan = s.plan(&c);
+        assert_eq!(plan.actions, vec![Action::AdmitPrefill(RequestId(0))]);
+
+        // Make recompute expensive: loading wins.
+        let mut s2 = TokenFlowScheduler::new();
+        let mut cpu2 = view(0, ReqPhase::WaitingCpu);
+        cpu2.load_secs = 0.05;
+        cpu2.context_tokens = 10_000;
+        let mut c2 = ctx(vec![cpu2], 20_000, 40_000);
+        c2.prefill_secs_per_token = 1e-4; // recompute = 1 s > 0.05 s
+        let plan = s2.plan(&c2);
+        assert_eq!(plan.actions, vec![Action::Resume(RequestId(0))]);
+    }
+
+    #[test]
+    fn working_set_shrinks_when_underutilised() {
+        let s = TokenFlowScheduler::new();
+        // One running 2000-token request, plenty of capacity: Eq. 5 pulls
+        // W toward N_running.
+        let c_low = ctx(
+            vec![with_context(running_with_buffer(0, 1.0), 2_000)],
+            90_000,
+            100_000,
+        );
+        let w_low = s.working_set_size(&c_low);
+        let many: Vec<ReqView> = (0..40)
+            .map(|i| with_context(running_with_buffer(i, 1.0), 2_000))
+            .collect();
+        let c_high = ctx(many, 50_000, 100_000);
+        let w_high = s.working_set_size(&c_high);
+        assert!(w_high > w_low, "W grows with load: {w_low} vs {w_high}");
+    }
+
+    #[test]
+    fn io_backpressure_defers_evictions() {
+        let mut s = TokenFlowScheduler::new();
+        let rich = with_context(running_with_buffer(0, 30.0), 600);
+        let waiting = with_context(view(1, ReqPhase::WaitingNew), 600);
+        let mut c = ctx(vec![rich, waiting], 0, 1_300);
+        c.d2h_eta = SimDuration::from_secs(10); // D2H badly backed up
+        let plan = s.plan(&c);
+        assert!(
+            plan.actions
+                .iter()
+                .all(|a| !matches!(a, Action::Preempt { .. })),
+            "backpressure must defer evictions: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn utility_prefers_empty_buffers() {
+        let s = TokenFlowScheduler::new();
+        let c = ctx(vec![], 0, 20_000);
+        let empty = running_with_buffer(0, 0.0);
+        let full = running_with_buffer(1, 30.0);
+        assert!(s.utility(&empty, &c) > s.utility(&full, &c));
+    }
+
+    #[test]
+    fn emergency_uses_offload_and_largest_buffer() {
+        let s = TokenFlowScheduler::new();
+        assert_eq!(s.emergency_preempt_mode(), PreemptMode::Offload);
+        let a = running_with_buffer(0, 1.0);
+        let b = running_with_buffer(1, 9.0);
+        let c = ctx(vec![a, b], 0, 20_000);
+        assert_eq!(s.emergency_victim(&c), Some(RequestId(1)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Helpers shared by the scheduling policies.
+
+use tokenflow_sim::RequestId;
+
+use crate::api::{Action, ReqPhase, ReqView, SchedContext};
+
+/// Memory a request needs to be admitted: its current context plus a small
+/// decode-growth reserve, in tokens. Preemptive schedulers use this: they
+/// reclaim memory later if growth outpaces the reserve.
+pub fn admission_cost(view: &ReqView, headroom: u64) -> u64 {
+    view.context_tokens + view.remaining_tokens.min(headroom)
+}
+
+/// Conservative admission cost in the SGLang/vLLM style: the full remaining
+/// output is reserved up front, because a non-preemptive scheduler has no
+/// cheap way to reclaim memory from a running request. This over-reserve is
+/// precisely what serialises admission waves under burst (§2.3).
+pub fn conservative_cost(view: &ReqView) -> u64 {
+    view.context_tokens + view.remaining_tokens
+}
+
+/// How [`fcfs_admissions`] prices an admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionCosting {
+    /// Reserve only a small growth headroom (preemptive schedulers).
+    Headroom(u64),
+    /// Reserve the full remaining output (SGLang/vLLM non-preemptive
+    /// admission).
+    Conservative,
+}
+
+/// First-come-first-served admission of waiting requests.
+///
+/// Walks waiting requests in arrival order and admits while GPU memory and
+/// batch slots last. With `strict_hol` (SGLang behaviour) admission stops at
+/// the first request that does not fit — head-of-line blocking; without it,
+/// later small requests may slip past a stuck large one.
+pub fn fcfs_admissions(
+    ctx: &SchedContext,
+    costing: AdmissionCosting,
+    strict_hol: bool,
+) -> Vec<Action> {
+    let mut actions = Vec::new();
+    // Free memory minus what admitted-but-unallocated requests will take.
+    let committed: u64 = ctx.requests.iter().map(|r| r.reserved_tokens).sum();
+    // The conservative (SGLang) regime additionally keeps the full
+    // remaining output of every admitted request reserved for its lifetime.
+    let conservative_reserve: u64 = if costing == AdmissionCosting::Conservative {
+        ctx.requests
+            .iter()
+            .filter(|r| matches!(r.phase, ReqPhase::Running | ReqPhase::Transitioning))
+            .map(|r| r.remaining_tokens)
+            .sum()
+    } else {
+        0
+    };
+    let mut budget = ctx
+        .gpu_free_tokens
+        .saturating_sub(committed)
+        .saturating_sub(conservative_reserve);
+    let occupied = ctx.count_phase(ReqPhase::Running) + ctx.count_phase(ReqPhase::Transitioning);
+    let mut slots = (ctx.max_batch as usize).saturating_sub(occupied);
+
+    let mut waiting: Vec<&ReqView> = ctx
+        .requests
+        .iter()
+        .filter(|r| matches!(r.phase, ReqPhase::WaitingNew | ReqPhase::WaitingCpu))
+        .collect();
+    waiting.sort_by_key(|r| (r.arrival, r.id));
+
+    for r in waiting {
+        if slots == 0 {
+            break;
+        }
+        let cost = match costing {
+            AdmissionCosting::Headroom(h) => admission_cost(r, h),
+            AdmissionCosting::Conservative => conservative_cost(r),
+        };
+        if cost > budget {
+            if strict_hol {
+                break;
+            }
+            continue;
+        }
+        budget -= cost;
+        slots -= 1;
+        actions.push(match r.phase {
+            ReqPhase::WaitingNew => Action::AdmitPrefill(r.id),
+            ReqPhase::WaitingCpu => Action::Resume(r.id),
+            _ => unreachable!("filtered to waiting phases"),
+        });
+    }
+    actions
+}
+
+/// The running request holding the largest buffer (in seconds), if any —
+/// the natural preemption victim for buffer-aware policies.
+pub fn largest_buffer_running(ctx: &SchedContext) -> Option<RequestId> {
+    ctx.in_phase(ReqPhase::Running)
+        .max_by(|a, b| {
+            a.buffered_secs
+                .partial_cmp(&b.buffered_secs)
+                .expect("buffer seconds are finite")
+                .then(b.id.cmp(&a.id))
+        })
+        .map(|r| r.id)
+}
+
+/// Token value of generating for a request now, per the effective-token
+/// rule: full value while the buffer holds < 10 % of the total output,
+/// linearly decaying to zero at 20 %.
+pub fn token_value(view: &ReqView) -> f64 {
+    let generated = view.context_tokens - view.prompt_tokens;
+    let total_output = (generated + view.remaining_tokens).max(1);
+    let tau = 0.10 * total_output as f64;
+    let cut = 0.20 * total_output as f64;
+    let b = view.buffered_tokens as f64;
+    if b <= tau {
+        1.0
+    } else if b >= cut {
+        0.0
+    } else {
+        1.0 - (b - tau) / (cut - tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokenflow_sim::{SimDuration, SimTime};
+
+    pub(crate) fn view(id: u64, phase: ReqPhase) -> ReqView {
+        ReqView {
+            id: RequestId(id),
+            phase,
+            arrival: SimTime::from_secs(id),
+            rate: 20.0,
+            prompt_tokens: 100,
+            context_tokens: 100,
+            remaining_tokens: 200,
+            buffered_tokens: 0,
+            buffered_secs: 0.0,
+            stalled: false,
+            started: false,
+            evict_secs: 0.0,
+            load_secs: 0.0,
+            reserved_tokens: 0,
+            elastic: false,
+        }
+    }
+
+    pub(crate) fn ctx(requests: Vec<ReqView>, free: u64) -> SchedContext {
+        SchedContext {
+            now: SimTime::from_secs(100),
+            requests,
+            gpu_free_tokens: free,
+            gpu_total_tokens: 20_000,
+            d2h_queue_len: 0,
+            h2d_queue_len: 0,
+            d2h_eta: SimDuration::ZERO,
+            h2d_eta: SimDuration::ZERO,
+            prefill_secs_per_token: 1e-4,
+            decode_throughput: 2_000.0,
+            pcie_bandwidth: 25e9,
+            kv_bytes_per_token: 131_072,
+            max_batch: 8,
+        }
+    }
+
+    #[test]
+    fn admission_cost_includes_headroom() {
+        let v = view(0, ReqPhase::WaitingNew);
+        assert_eq!(admission_cost(&v, 64), 164);
+        // Headroom capped by the remaining output.
+        let mut tiny = v;
+        tiny.remaining_tokens = 10;
+        assert_eq!(admission_cost(&tiny, 64), 110);
+    }
+
+    #[test]
+    fn conservative_cost_reserves_full_output() {
+        let v = view(0, ReqPhase::WaitingNew);
+        assert_eq!(conservative_cost(&v), 300);
+    }
+
+    #[test]
+    fn conservative_admission_serialises_waves() {
+        // Three requests each needing 300 conservative tokens; 700 free
+        // admits only two.
+        let c = ctx(
+            vec![
+                view(0, ReqPhase::WaitingNew),
+                view(1, ReqPhase::WaitingNew),
+                view(2, ReqPhase::WaitingNew),
+            ],
+            700,
+        );
+        let actions = fcfs_admissions(&c, AdmissionCosting::Conservative, true);
+        assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn fcfs_admits_in_arrival_order() {
+        let c = ctx(
+            vec![
+                view(2, ReqPhase::WaitingNew),
+                view(0, ReqPhase::WaitingNew),
+                view(1, ReqPhase::WaitingNew),
+            ],
+            10_000,
+        );
+        let actions = fcfs_admissions(&c, AdmissionCosting::Headroom(64), true);
+        assert_eq!(
+            actions,
+            vec![
+                Action::AdmitPrefill(RequestId(0)),
+                Action::AdmitPrefill(RequestId(1)),
+                Action::AdmitPrefill(RequestId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fcfs_strict_hol_blocks_behind_large_request() {
+        let mut big = view(0, ReqPhase::WaitingNew);
+        big.context_tokens = 9_999;
+        big.prompt_tokens = 9_999;
+        let small = view(1, ReqPhase::WaitingNew);
+        let c = ctx(vec![big, small], 500);
+        assert!(fcfs_admissions(&c, AdmissionCosting::Headroom(64), true).is_empty());
+        // Relaxed mode lets the small request through.
+        let relaxed = fcfs_admissions(&c, AdmissionCosting::Headroom(64), false);
+        assert_eq!(relaxed, vec![Action::AdmitPrefill(RequestId(1))]);
+    }
+
+    #[test]
+    fn fcfs_respects_batch_slots() {
+        let running: Vec<ReqView> = (0..8).map(|i| view(i, ReqPhase::Running)).collect();
+        let mut all = running;
+        all.push(view(8, ReqPhase::WaitingNew));
+        let c = ctx(all, 10_000);
+        assert!(fcfs_admissions(&c, AdmissionCosting::Headroom(64), true).is_empty());
+    }
+
+    #[test]
+    fn fcfs_resumes_cpu_resident() {
+        let c = ctx(vec![view(0, ReqPhase::WaitingCpu)], 10_000);
+        assert_eq!(
+            fcfs_admissions(&c, AdmissionCosting::Headroom(64), true),
+            vec![Action::Resume(RequestId(0))]
+        );
+    }
+
+    #[test]
+    fn largest_buffer_victim() {
+        let mut a = view(0, ReqPhase::Running);
+        a.buffered_secs = 1.0;
+        let mut b = view(1, ReqPhase::Running);
+        b.buffered_secs = 5.0;
+        let c = ctx(vec![a, b, view(2, ReqPhase::WaitingNew)], 0);
+        assert_eq!(largest_buffer_running(&c), Some(RequestId(1)));
+        let empty = ctx(vec![view(2, ReqPhase::WaitingNew)], 0);
+        assert_eq!(largest_buffer_running(&empty), None);
+    }
+
+    #[test]
+    fn token_value_decays_with_buffer() {
+        let mut v = view(0, ReqPhase::Running);
+        v.context_tokens = 200; // 100 generated
+        v.remaining_tokens = 900; // total output 1000
+        v.buffered_tokens = 50;
+        assert_eq!(token_value(&v), 1.0);
+        v.buffered_tokens = 150;
+        assert!((token_value(&v) - 0.5).abs() < 1e-9);
+        v.buffered_tokens = 500;
+        assert_eq!(token_value(&v), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The monotonic simulation clock.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonic simulation clock.
+///
+/// The engine owns one clock and advances it by exactly the duration the
+/// cost model assigns to each iteration, or fast-forwards it to the next
+/// pending event when idle. The clock refuses to move backwards.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_sim::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// assert_eq!(clock.now(), SimTime::ZERO);
+/// clock.advance(SimDuration::from_millis(25));
+/// assert_eq!(clock.now(), SimTime::from_millis(25));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock starting at `t`.
+    pub fn starting_at(t: SimTime) -> Self {
+        Clock { now: t }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Moves the clock forward to `t`.
+    ///
+    /// Returns the elapsed duration. If `t` is in the past the clock does not
+    /// move and the elapsed duration is zero; monotonicity is an invariant.
+    pub fn advance_to(&mut self, t: SimTime) -> SimDuration {
+        if t <= self.now {
+            return SimDuration::ZERO;
+        }
+        let elapsed = t - self.now;
+        self.now = t;
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn starting_at_sets_origin() {
+        let c = Clock::starting_at(SimTime::from_secs(7));
+        assert_eq!(c.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_millis(10));
+        c.advance(SimDuration::from_millis(15));
+        assert_eq!(c.now(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_secs(5));
+        let back = c.advance_to(SimTime::from_secs(3));
+        assert_eq!(back, SimDuration::ZERO);
+        assert_eq!(c.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn advance_to_returns_elapsed() {
+        let mut c = Clock::starting_at(SimTime::from_secs(1));
+        let elapsed = c.advance_to(SimTime::from_secs(4));
+        assert_eq!(elapsed, SimDuration::from_secs(3));
+    }
+}

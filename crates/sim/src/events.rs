@@ -1,0 +1,200 @@
+//! A stable timestamped priority queue.
+//!
+//! [`EventQueue`] pops entries in non-decreasing time order; entries with
+//! equal timestamps pop in insertion (FIFO) order. Stability matters for
+//! reproducibility: the serving engine frequently schedules several events
+//! at the same instant (e.g. a burst of request arrivals) and their relative
+//! order must not depend on heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the event queue: a payload scheduled at a time.
+#[derive(Debug, Clone)]
+pub struct TimedEntry<E> {
+    /// The instant at which the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number used for FIFO tie-breaking.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for TimedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for TimedEntry<E> {}
+
+impl<E> PartialOrd for TimedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for TimedEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of timestamped events with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-second");
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<TimedEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(TimedEntry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest entry, or `None` when empty.
+    pub fn pop(&mut self) -> Option<TimedEntry<E>> {
+        self.heap.pop()
+    }
+
+    /// The timestamp of the earliest entry without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Borrows the earliest entry without removing it.
+    pub fn peek(&self) -> Option<&TimedEntry<E>> {
+        self.heap.peek()
+    }
+
+    /// Pops the earliest entry only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<TimedEntry<E>> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3u32);
+        q.push(SimTime::from_secs(1), 1u32);
+        q.push(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(3), "b");
+        assert_eq!(q.pop_due(SimTime::from_secs(2)).unwrap().event, "a");
+        assert!(q.pop_due(SimTime::from_secs(2)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_secs(3)).unwrap().event, "b");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), 42u32);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.peek().unwrap().event, 42);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), 5u32);
+        q.push(SimTime::from_secs(1), 1u32);
+        assert_eq!(q.pop().unwrap().event, 1);
+        q.push(SimTime::from_secs(2), 2u32);
+        q.push(SimTime::from_secs(4), 4u32);
+        assert_eq!(q.pop().unwrap().event, 2);
+        q.push(SimTime::from_secs(3), 3u32);
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(rest, vec![3, 4, 5]);
+    }
+}

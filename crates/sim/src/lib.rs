@@ -1,0 +1,28 @@
+//! Deterministic discrete-time simulation substrate for TokenFlow.
+//!
+//! Every other crate in the workspace builds on the primitives defined here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond time, so simulation
+//!   runs are bit-reproducible across platforms and optimisation levels.
+//! * [`EventQueue`] — a stable priority queue of timestamped events with
+//!   FIFO tie-breaking.
+//! * [`Clock`] — a monotonic simulation clock.
+//! * [`SimRng`] — a seeded, deterministic random number generator.
+//!
+//! The simulation is *discrete-time* rather than wall-clock driven: the
+//! serving engine advances the clock by exactly the duration the analytical
+//! cost model assigns to each iteration, which mirrors how a real
+//! continuous-batching engine experiences time (scheduling decisions happen
+//! at iteration boundaries).
+
+pub mod clock;
+pub mod events;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use clock::Clock;
+pub use events::{EventQueue, TimedEntry};
+pub use ids::RequestId;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,255 @@
+//! Deterministic random number generation for workloads and jitter.
+//!
+//! All randomness in the workspace flows through [`SimRng`], a thin wrapper
+//! around a seeded [`rand::rngs::StdRng`] that adds the handful of sampling
+//! helpers the workload generators need (exponential, lognormal via
+//! Box–Muller, truncated normal). Keeping the distribution code here avoids
+//! pulling in `rand_distr` and pins down the exact sampling algorithm so the
+//! traces regenerate identically on every run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded deterministic RNG with distribution helpers.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives a child RNG with an independent stream.
+    ///
+    /// Use one child per component so adding draws in one component does not
+    /// perturb the stream seen by another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential variate with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+        // Inverse-CDF sampling; `1 - u` avoids ln(0).
+        let u = self.uniform();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Standard normal variate via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller: two uniforms to one normal (the second is discarded to
+        // keep the stream layout simple and deterministic).
+        let u1: f64 = 1.0 - self.uniform(); // (0, 1] so ln is finite
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Normal variate clamped to `[lo, hi]`.
+    pub fn clamped_normal(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Lognormal variate parameterised by the *underlying* normal's `mu` and
+    /// `sigma`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Lognormal variate parameterised by the desired mean and standard
+    /// deviation of the lognormal itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive or `std_dev` is negative.
+    pub fn lognormal_mean_std(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive, got {mean}");
+        assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+        if std_dev == 0.0 {
+            return mean;
+        }
+        let variance_ratio = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        self.lognormal(mu, sigma2.sqrt())
+    }
+
+    /// Chooses an index in `[0, weights.len())` proportionally to `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = parent1.fork(2);
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seed_from(11);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::seed_from(12);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_mean_std_matches_target() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_mean_std(512.0, 256.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 512.0).abs() / 512.0 < 0.05, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(14);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn clamped_normal_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(15);
+        for _ in 0..1_000 {
+            let x = rng.clamped_normal(0.0, 100.0, -5.0, 5.0);
+            assert!((-5.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(16);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        SimRng::seed_from(0).exponential(0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generation for TokenFlow experiments.
+//!
+//! The paper evaluates on four workload families; each has a generator here:
+//!
+//! * **Controlled bursts** (§7.3, Table 1): `b` requests arriving at once —
+//!   the flash-crowd scenario.
+//! * **Poisson arrivals** (§7.3): rate-λ memoryless traffic.
+//! * **BurstGPT-style traces** (§7.2): a Markov-modulated Poisson process
+//!   alternating calm and burst phases, reproducing the burstiness of the
+//!   published BurstGPT dataset.
+//! * **Industrial traces** (§7.1.2, Fig. 11): a diurnal non-homogeneous
+//!   Poisson process with a bimodal length mix (short chat turns plus long
+//!   document tasks).
+//!
+//! Prompt/output lengths and per-request streaming rates are sampled from
+//! configurable distributions ([`LengthDist`], [`RateDist`]); presets encode
+//! the paper's exact Table 1 configurations.
+
+pub mod arrivals;
+pub mod dist;
+pub mod presets;
+pub mod request;
+pub mod trace;
+
+pub use arrivals::ArrivalSpec;
+pub use dist::{LengthDist, RateDist};
+pub use presets::ControlledSetup;
+pub use request::{ClientKind, RequestSpec, Workload, WorkloadStats};

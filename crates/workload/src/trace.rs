@@ -1,0 +1,157 @@
+//! Trace serialisation: save and replay workloads as CSV.
+//!
+//! The format is deliberately simple — one header line and one row per
+//! request — so traces can be inspected, trimmed, or produced by external
+//! tools. No third-party serialisation crates are required.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use tokenflow_sim::{RequestId, SimTime};
+
+use crate::request::{RequestSpec, Workload};
+
+/// Errors while parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The header line was missing or wrong.
+    BadHeader,
+    /// A data row was malformed; carries the 1-based line number.
+    BadRow(usize),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "bad or missing trace header"),
+            TraceError::BadRow(line) => write!(f, "malformed trace row at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const HEADER: &str = "arrival_us,prompt_tokens,output_tokens,rate_tps";
+
+/// Serialises a workload to CSV.
+pub fn to_csv(workload: &Workload) -> String {
+    let mut out = String::with_capacity(32 * workload.len() + 64);
+    out.push_str(HEADER);
+    out.push('\n');
+    for s in workload.iter() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            s.arrival.as_micros(),
+            s.prompt_tokens,
+            s.output_tokens,
+            s.rate
+        );
+    }
+    out
+}
+
+/// Parses a workload from CSV produced by [`to_csv`] (or hand-written in the
+/// same format).
+pub fn from_csv(text: &str) -> Result<Workload, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(TraceError::BadHeader),
+    }
+    let mut specs = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = |_: &str| fields.next().map(str::trim).ok_or(TraceError::BadRow(i + 1));
+        let arrival: u64 = parse(next("arrival")?, i)?;
+        let prompt: u64 = parse(next("prompt")?, i)?;
+        let output: u64 = parse(next("output")?, i)?;
+        let rate: f64 = parse(next("rate")?, i)?;
+        if fields.next().is_some() || rate <= 0.0 || output == 0 {
+            return Err(TraceError::BadRow(i + 1));
+        }
+        specs.push(RequestSpec {
+            id: RequestId(0),
+            arrival: SimTime::from_micros(arrival),
+            prompt_tokens: prompt,
+            output_tokens: output,
+            rate,
+        });
+    }
+    Ok(Workload::new(specs))
+}
+
+fn parse<T: FromStr>(s: &str, line: usize) -> Result<T, TraceError> {
+    s.parse().map_err(|_| TraceError::BadRow(line + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{ArrivalSpec, WorkloadGen};
+    use crate::dist::{LengthDist, RateDist};
+    use tokenflow_sim::SimDuration;
+
+    fn sample_workload() -> Workload {
+        WorkloadGen {
+            arrivals: ArrivalSpec::Poisson {
+                rate: 5.0,
+                duration: SimDuration::from_secs(20),
+            },
+            prompt: LengthDist::Uniform { lo: 10, hi: 100 },
+            output: LengthDist::Uniform { lo: 20, hi: 200 },
+            rate: RateDist::Uniform { lo: 10.0, hi: 30.0 },
+        }
+        .generate(99)
+    }
+
+    #[test]
+    fn roundtrip_preserves_workload() {
+        let w = sample_workload();
+        let csv = to_csv(&w);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(w, parsed);
+    }
+
+    #[test]
+    fn empty_workload_roundtrips() {
+        let w = Workload::new(vec![]);
+        assert_eq!(from_csv(&to_csv(&w)).unwrap(), w);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(from_csv("nope\n1,2,3,4"), Err(TraceError::BadHeader));
+        assert_eq!(from_csv(""), Err(TraceError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let bad = format!("{HEADER}\n1,2,3\n");
+        assert!(matches!(from_csv(&bad), Err(TraceError::BadRow(_))));
+        let bad = format!("{HEADER}\n1,2,3,4,5\n");
+        assert!(matches!(from_csv(&bad), Err(TraceError::BadRow(_))));
+        let bad = format!("{HEADER}\nx,2,3,4\n");
+        assert!(matches!(from_csv(&bad), Err(TraceError::BadRow(_))));
+    }
+
+    #[test]
+    fn zero_rate_or_output_rejected() {
+        let bad = format!("{HEADER}\n1,2,3,0\n");
+        assert!(matches!(from_csv(&bad), Err(TraceError::BadRow(_))));
+        let bad = format!("{HEADER}\n1,2,0,10\n");
+        assert!(matches!(from_csv(&bad), Err(TraceError::BadRow(_))));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = format!("{HEADER}\n\n100,10,20,15.5\n\n");
+        let w = from_csv(&csv).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.specs()[0].rate, 15.5);
+    }
+}

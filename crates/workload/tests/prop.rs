@@ -1,0 +1,67 @@
+//! Property tests on workload generation and trace serialisation.
+
+use proptest::prelude::*;
+use tokenflow_sim::{SimDuration, SimTime};
+use tokenflow_workload::{trace, ArrivalSpec, LengthDist, RateDist, Workload};
+
+fn arb_gen() -> impl Strategy<Value = tokenflow_workload::arrivals::WorkloadGen> {
+    (1u32..40, 1u64..500, 1u64..500, 1.0f64..50.0).prop_map(|(n, p, o, r)| {
+        tokenflow_workload::arrivals::WorkloadGen {
+            arrivals: ArrivalSpec::Burst {
+                size: n,
+                at: SimTime::ZERO,
+            },
+            prompt: LengthDist::Uniform { lo: 1, hi: p.max(1) },
+            output: LengthDist::Uniform { lo: 1, hi: o.max(1) },
+            rate: RateDist::Fixed(r),
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_workloads_are_well_formed(g in arb_gen(), seed in 0u64..1_000) {
+        let w = g.generate(seed);
+        for (i, spec) in w.iter().enumerate() {
+            prop_assert_eq!(spec.id.0, i as u64, "dense ids");
+            prop_assert!(spec.output_tokens >= 1);
+            prop_assert!(spec.prompt_tokens >= 1);
+            prop_assert!(spec.rate > 0.0);
+        }
+        // Arrival order is sorted.
+        for pair in w.specs().windows(2) {
+            prop_assert!(pair[0].arrival <= pair[1].arrival);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless(g in arb_gen(), seed in 0u64..1_000) {
+        let w = g.generate(seed);
+        let parsed = trace::from_csv(&trace::to_csv(&w)).unwrap();
+        prop_assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn poisson_respects_horizon(rate in 0.5f64..30.0, secs in 1u64..120, seed in 0u64..500) {
+        let spec = ArrivalSpec::Poisson {
+            rate,
+            duration: SimDuration::from_secs(secs),
+        };
+        let mut rng = tokenflow_sim::SimRng::seed_from(seed);
+        for t in spec.sample(&mut rng) {
+            prop_assert!(t < SimTime::ZERO + SimDuration::from_secs(secs));
+        }
+    }
+
+    #[test]
+    fn workload_stats_are_consistent(g in arb_gen(), seed in 0u64..1_000) {
+        let w = g.generate(seed);
+        let s = w.stats();
+        prop_assert_eq!(s.count, w.len());
+        prop_assert!(s.p50_prompt <= s.p99_prompt);
+        prop_assert!(s.p50_output <= s.p99_output);
+        prop_assert!(s.peak_arrivals_per_sec <= s.count);
+        let merged = Workload::merge(vec![w.clone(), Workload::new(vec![])]);
+        prop_assert_eq!(merged, w);
+    }
+}

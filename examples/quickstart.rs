@@ -1,0 +1,79 @@
+//! Quickstart: serve a handful of streaming requests and watch tokens
+//! arrive through the step API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tokenflow::prelude::*;
+
+fn main() {
+    // An H200 serving Llama3-8B with the TokenFlow scheduler.
+    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+    let mut engine = Engine::new(config, Box::new(TokenFlowScheduler::new()));
+
+    // Three clients with different reading speeds submit prompts.
+    let clients = [
+        ("alice (fast reader)", 512, 200, 20.0),
+        ("bob (average reader)", 256, 150, 12.0),
+        ("carol (listening)", 128, 100, 6.0),
+    ];
+    let mut names = std::collections::HashMap::new();
+    for (name, prompt, output, rate) in clients {
+        let id = engine.submit(RequestSpec {
+            id: RequestId(0), // assigned by the engine
+            arrival: SimTime::ZERO,
+            prompt_tokens: prompt,
+            output_tokens: output,
+            rate,
+        });
+        names.insert(id, name);
+        println!("submitted {name}: {prompt}-token prompt, {output} output tokens @ {rate} tok/s");
+    }
+
+    // Drive the engine step by step, reporting milestones.
+    let mut first_seen = std::collections::HashSet::new();
+    loop {
+        let step = engine.step();
+        for &(id, count) in &step.delivered {
+            if first_seen.insert(id) {
+                println!(
+                    "[{:>8.3}s] {} received its FIRST token",
+                    step.now.as_secs_f64(),
+                    names[&id]
+                );
+            } else if count % 50 == 0 {
+                println!(
+                    "[{:>8.3}s] {} has {count} tokens",
+                    step.now.as_secs_f64(),
+                    names[&id]
+                );
+            }
+        }
+        for id in &step.finished {
+            println!(
+                "[{:>8.3}s] {} COMPLETE",
+                step.now.as_secs_f64(),
+                names[id]
+            );
+        }
+        if step.done {
+            break;
+        }
+    }
+
+    let outcome = engine.into_outcome();
+    println!("\n--- run report ---");
+    println!("requests completed : {}", outcome.report.completed);
+    println!("mean TTFT          : {:.3} s", outcome.report.ttft.mean);
+    println!("throughput         : {:.1} tok/s", outcome.report.throughput);
+    println!(
+        "effective thpt     : {:.1} tok/s",
+        outcome.report.effective_throughput
+    );
+    println!("QoS (Eq. 2)        : {:.1}", outcome.report.qos);
+    println!(
+        "rebuffering        : {:.2} s across {} stalls",
+        outcome.report.total_rebuffer_secs, outcome.report.stall_events
+    );
+}

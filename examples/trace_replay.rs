@@ -1,0 +1,57 @@
+//! Trace replay: generate a BurstGPT-style production trace, save it as
+//! CSV, reload it, and replay it through two schedulers — the workflow for
+//! evaluating real operational traces.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use tokenflow::prelude::*;
+use tokenflow::workload::trace;
+use tokenflow::workload::{presets, RateDist};
+
+fn main() {
+    // 1. Generate a three-minute bursty trace with ShareGPT-like lengths.
+    let generator = presets::burstgpt_trace(
+        3.0,
+        40.0,
+        SimDuration::from_secs(180),
+        RateDist::Uniform { lo: 10.0, hi: 18.0 },
+    );
+    let workload = generator.generate(2024);
+    let stats = workload.stats();
+    println!(
+        "generated {} requests over {:.0}s (peak {} arrivals/s, p99 prompt {} tokens)",
+        stats.count,
+        stats.span.as_secs_f64(),
+        stats.peak_arrivals_per_sec,
+        stats.p99_prompt
+    );
+
+    // 2. Round-trip through the CSV trace format.
+    let csv = trace::to_csv(&workload);
+    let path = std::env::temp_dir().join("tokenflow_trace.csv");
+    std::fs::write(&path, &csv).expect("write trace");
+    let reloaded = trace::from_csv(&std::fs::read_to_string(&path).expect("read trace"))
+        .expect("parse trace");
+    assert_eq!(reloaded, workload);
+    println!("trace saved to {} and reloaded identically\n", path.display());
+
+    // 3. Replay under SGLang and TokenFlow on an H200 under memory pressure.
+    for (name, sched) in [
+        ("SGLang", Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>),
+        ("TokenFlow", Box::new(TokenFlowScheduler::new())),
+    ] {
+        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
+            .with_mem_frac(0.3);
+        let outcome = run_simulation(config, sched, &reloaded);
+        println!(
+            "{name:<10} eff {:>7.1} tok/s | thpt {:>7.1} | mean TTFT {:>6.2}s | p99 {:>6.2}s | QoS {:>7.1}",
+            outcome.report.effective_throughput,
+            outcome.report.throughput,
+            outcome.report.ttft.mean,
+            outcome.report.ttft.p99,
+            outcome.report.qos,
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! # TokenFlow
+//!
+//! Responsive LLM text-streaming serving under request burst via preemptive
+//! scheduling — a complete Rust implementation of the EuroSys '26 paper's
+//! system, with a deterministic execution substrate standing in for the
+//! GPU testbed (see `DESIGN.md` for the substitution argument).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — deterministic time, events, and RNG.
+//! * [`model`] — model/hardware profiles and the analytical cost model.
+//! * [`kv`] — the hierarchical KV-cache manager (write-through, chunked
+//!   writing, load-evict overlap).
+//! * [`client`] — the token-buffer consumption model and Figure 1 rates.
+//! * [`workload`] — burst/Poisson/BurstGPT/industrial workload generators.
+//! * [`metrics`] — QoS, effective throughput, percentiles, time series.
+//! * [`sched`] — the four scheduling policies (SGLang FCFS, SGLang
+//!   chunked, Andes-style, TokenFlow).
+//! * [`core`] — the serving engine and `run_simulation` entry point.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tokenflow::core::{run_simulation, EngineConfig};
+//! use tokenflow::model::{HardwareProfile, ModelProfile};
+//! use tokenflow::sched::TokenFlowScheduler;
+//! use tokenflow::sim::{RequestId, SimTime};
+//! use tokenflow::workload::{RequestSpec, Workload};
+//!
+//! let workload = Workload::new(vec![RequestSpec {
+//!     id: RequestId(0),
+//!     arrival: SimTime::ZERO,
+//!     prompt_tokens: 256,
+//!     output_tokens: 128,
+//!     rate: 15.0, // the client reads at 15 tokens/second
+//! }]);
+//! let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+//! let outcome = run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload);
+//! assert_eq!(outcome.report.completed, 1);
+//! println!("TTFT: {:.3}s", outcome.report.ttft.mean);
+//! ```
+
+pub use tokenflow_client as client;
+pub use tokenflow_core as core;
+pub use tokenflow_kv as kv;
+pub use tokenflow_metrics as metrics;
+pub use tokenflow_model as model;
+pub use tokenflow_sched as sched;
+pub use tokenflow_sim as sim;
+pub use tokenflow_workload as workload;
+
+/// Convenience re-exports of the most common entry points.
+pub mod prelude {
+    pub use tokenflow_core::{run_simulation, Engine, EngineConfig, SimOutcome};
+    pub use tokenflow_metrics::{QosParams, RunReport};
+    pub use tokenflow_model::{CostModel, HardwareProfile, ModelProfile};
+    pub use tokenflow_sched::{
+        AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowParams,
+        TokenFlowScheduler,
+    };
+    pub use tokenflow_sim::{RequestId, SimDuration, SimTime};
+    pub use tokenflow_workload::{ArrivalSpec, RateDist, RequestSpec, Workload};
+}
