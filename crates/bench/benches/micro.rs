@@ -1,13 +1,17 @@
-//! Criterion micro-benchmarks.
+//! Micro-benchmarks (criterion-free harness).
 //!
 //! `sched_plan` reproduces the §7.6 overhead analysis: the paper reports
 //! the scheduling step growing from SGLang's ~0.07 ms to TokenFlow's
 //! ~0.4 ms at a few hundred live requests — both negligible next to
 //! forward-pass latency. The remaining benches keep the hot paths of the
 //! substrate honest.
+//!
+//! The harness is deliberately tiny (timed loops over `Instant`) so the
+//! workspace builds with no registry access; it reports mean ns/iter over
+//! a fixed iteration budget after a short warm-up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use tokenflow_client::TokenBuffer;
 use tokenflow_kv::{KvConfig, KvManager};
@@ -16,6 +20,20 @@ use tokenflow_sched::{
     FcfsScheduler, ReqPhase, ReqView, SchedContext, Scheduler, TokenFlowScheduler,
 };
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+/// Times `f` and prints a criterion-style one-line summary.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10).min(50) {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {per_iter:>12} ns/iter   ({iters} iters)");
+}
 
 fn sched_ctx(n: u64) -> SchedContext {
     let requests = (0..n)
@@ -58,99 +76,87 @@ fn sched_ctx(n: u64) -> SchedContext {
     }
 }
 
-fn bench_sched_plan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sched_plan");
+fn bench_sched_plan() {
     for n in [64u64, 256] {
         let ctx = sched_ctx(n);
-        group.bench_with_input(BenchmarkId::new("tokenflow", n), &ctx, |b, ctx| {
+        bench(&format!("sched_plan/tokenflow/{n}"), 2_000, || {
+            // Force the full pass every call: a fresh scheduler has no
+            // interval clock to short-circuit on.
             let mut s = TokenFlowScheduler::new();
-            b.iter(|| {
-                // Force the full pass every call: reset the interval clock.
-                let mut fresh = TokenFlowScheduler::new();
-                std::mem::swap(&mut s, &mut fresh);
-                black_box(s.plan(ctx))
-            });
+            black_box(s.plan(&ctx))
         });
-        group.bench_with_input(BenchmarkId::new("sglang_fcfs", n), &ctx, |b, ctx| {
-            let mut s = FcfsScheduler::new();
-            b.iter(|| black_box(s.plan(ctx)));
+        let mut fcfs = FcfsScheduler::new();
+        bench(&format!("sched_plan/sglang_fcfs/{n}"), 20_000, || {
+            black_box(fcfs.plan(&ctx))
         });
     }
-    group.finish();
 }
 
-fn bench_client_buffer(c: &mut Criterion) {
-    c.bench_function("token_buffer_stream_1k", |b| {
-        b.iter(|| {
-            let mut buf = TokenBuffer::new(20.0);
-            for i in 0..1_000u64 {
-                buf.on_token(SimTime::from_millis(i * 7));
-            }
-            black_box(buf.snapshot(SimTime::from_secs(100)))
-        });
+fn bench_client_buffer() {
+    bench("token_buffer_stream_1k", 2_000, || {
+        let mut buf = TokenBuffer::new(20.0);
+        for i in 0..1_000u64 {
+            buf.on_token(SimTime::from_millis(i * 7));
+        }
+        black_box(buf.snapshot(SimTime::from_secs(100)))
     });
 }
 
-fn bench_kv_cycle(c: &mut Criterion) {
-    c.bench_function("kv_preempt_resume_cycle", |b| {
-        b.iter(|| {
-            let mut cfg = KvConfig::test_config();
-            cfg.gpu_blocks = 1_024;
-            let mut kv = KvManager::new(cfg);
-            let r = RequestId(0);
-            kv.on_prefill(r, 2_048, SimTime::ZERO).unwrap();
-            kv.pump_writes(SimTime::ZERO, SimDuration::from_millis(20));
-            kv.advance_to(SimTime::from_millis(50));
-            kv.begin_evict(r, SimTime::from_millis(50)).unwrap();
-            kv.advance_to(SimTime::from_millis(100));
-            kv.begin_load(r, SimTime::from_millis(100)).unwrap();
-            kv.advance_to(SimTime::from_millis(200));
-            black_box(kv.residency(r))
-        });
+fn bench_kv_cycle() {
+    bench("kv_preempt_resume_cycle", 2_000, || {
+        let mut cfg = KvConfig::test_config();
+        cfg.gpu_blocks = 1_024;
+        let mut kv = KvManager::new(cfg);
+        let r = RequestId(0);
+        kv.on_prefill(r, 2_048, SimTime::ZERO).unwrap();
+        kv.pump_writes(SimTime::ZERO, SimDuration::from_millis(20));
+        kv.advance_to(SimTime::from_millis(50));
+        kv.begin_evict(r, SimTime::from_millis(50)).unwrap();
+        kv.advance_to(SimTime::from_millis(100));
+        kv.begin_load(r, SimTime::from_millis(100)).unwrap();
+        kv.advance_to(SimTime::from_millis(200));
+        black_box(kv.residency(r))
     });
 }
 
-fn bench_cost_model(c: &mut Criterion) {
+fn bench_cost_model() {
     let cost = CostModel::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
-    c.bench_function("cost_iteration_time", |b| {
-        b.iter(|| {
-            black_box(cost.iteration_time(&IterationSpec {
-                prefill_tokens: 2_048,
-                prefill_past_tokens: 0,
-                prefill_seqs: 1,
-                decode_batch: 128,
-                decode_context: 128 * 1_500,
-            }))
-        });
+    bench("cost_iteration_time", 200_000, || {
+        black_box(cost.iteration_time(&IterationSpec {
+            prefill_tokens: 2_048,
+            prefill_past_tokens: 0,
+            prefill_seqs: 1,
+            decode_batch: 128,
+            decode_context: 128 * 1_500,
+        }))
     });
 }
 
-fn bench_engine_iteration(c: &mut Criterion) {
+fn bench_engine_iteration() {
     use tokenflow_core::{Engine, EngineConfig};
     use tokenflow_workload::RequestSpec;
-    c.bench_function("engine_64req_burst_end_to_end", |b| {
-        b.iter(|| {
-            let cfg = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
-                .with_max_batch(32);
-            let mut e = Engine::new(cfg, Box::new(TokenFlowScheduler::new()));
-            for _ in 0..64 {
-                e.submit(RequestSpec {
-                    id: RequestId(0),
-                    arrival: SimTime::ZERO,
-                    prompt_tokens: 128,
-                    output_tokens: 64,
-                    rate: 20.0,
-                });
-            }
-            e.run_to_completion();
-            black_box(e.into_outcome().report.completed)
-        });
+    bench("engine_64req_burst_end_to_end", 20, || {
+        let cfg = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
+            .with_max_batch(32);
+        let mut e = Engine::new(cfg, TokenFlowScheduler::new());
+        for _ in 0..64 {
+            e.submit(RequestSpec {
+                id: RequestId(0),
+                arrival: SimTime::ZERO,
+                prompt_tokens: 128,
+                output_tokens: 64,
+                rate: 20.0,
+            });
+        }
+        e.run_to_completion();
+        black_box(e.into_outcome().report.completed)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sched_plan, bench_client_buffer, bench_kv_cycle, bench_cost_model, bench_engine_iteration
+fn main() {
+    bench_sched_plan();
+    bench_client_buffer();
+    bench_kv_cycle();
+    bench_cost_model();
+    bench_engine_iteration();
 }
-criterion_main!(benches);

@@ -23,7 +23,10 @@ fn main() {
         return;
     }
     let ids: Vec<String> = if args[0] == "all" {
-        experiments::all().iter().map(|e| e.id.to_string()).collect()
+        experiments::all()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect()
     } else {
         args
     };

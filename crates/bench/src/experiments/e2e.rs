@@ -3,7 +3,9 @@
 use tokenflow_core::EngineConfig;
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sim::SimDuration;
-use tokenflow_workload::presets::{burstgpt_trace, burstgpt_trace_scaled, industrial_trace, DEFAULT_RATE};
+use tokenflow_workload::presets::{
+    burstgpt_trace, burstgpt_trace_scaled, industrial_trace, DEFAULT_RATE,
+};
 use tokenflow_workload::{ControlledSetup, RateDist};
 
 use crate::runner::{compare_systems, run_cell, SYSTEMS};
@@ -47,12 +49,8 @@ fn e2e_comparison(
     s.push_str(&table.render());
     s.push('\n');
 
-    let industrial = industrial_trace(
-        30.0 * intensity,
-        SimDuration::from_secs(240),
-        rate,
-    )
-    .generate(seed + 1);
+    let industrial =
+        industrial_trace(30.0 * intensity, SimDuration::from_secs(240), rate).generate(seed + 1);
     s.push_str(&format!(
         "Industrial-style trace: {} requests over {:.0} s\n",
         industrial.len(),
@@ -99,14 +97,8 @@ pub fn fig14_15() -> String {
     // 32B model's KV budget during flash crowds.
     // Oscillating load: bursts overrun the 32B model's capacity, calm
     // phases let the backlog drain — the regime Figures 14/15 plot.
-    let trace = burstgpt_trace_scaled(
-        1.0,
-        10.0,
-        SimDuration::from_secs(1_200),
-        trace_rate(),
-        2,
-    )
-    .generate(23);
+    let trace = burstgpt_trace_scaled(1.0, 10.0, SimDuration::from_secs(1_200), trace_rate(), 2)
+        .generate(23);
     let mut s = format!(
         "20-minute BurstGPT-style trace, Qwen2.5-32B on H200: {} requests.\n\
          Expected shape: TokenFlow holds fewer queued and more running\n\
@@ -160,11 +152,7 @@ fn controlled(rows: Vec<ControlledSetup>, note: &str) -> String {
                 0.3, // the paper starts the H200 runs at mem-frac 0.3
             )
         } else {
-            (
-                ModelProfile::llama3_8b(),
-                HardwareProfile::rtx4090(),
-                0.9,
-            )
+            (ModelProfile::llama3_8b(), HardwareProfile::rtx4090(), 0.9)
         };
         let workload = setup.workload(42);
         s.push_str(&format!("[{}] {} requests\n", setup.label, workload.len()));

@@ -147,8 +147,14 @@ pub fn fig10() -> String {
     let with = run(true);
     let without = run(false);
     let mut t = Table::new(vec!["mode", "resume latency (ms)"]);
-    t.row(vec!["serialized (no overlap)".into(), f(without.as_millis_f64(), 2)]);
-    t.row(vec!["load-evict overlap".into(), f(with.as_millis_f64(), 2)]);
+    t.row(vec![
+        "serialized (no overlap)".into(),
+        f(without.as_millis_f64(), 2),
+    ]);
+    t.row(vec![
+        "load-evict overlap".into(),
+        f(with.as_millis_f64(), 2),
+    ]);
     let mut s = String::from(
         "Resume latency of a 4096-token load issued while a 4096-token\n\
          eviction is in flight. Overlap runs the H2D load concurrently on\n\
@@ -171,9 +177,7 @@ pub fn table2() -> String {
     // rotation runs through the reactive path and the memory hierarchy sits
     // on the critical path — the regime where Table 2's deltas live.
     let setup = ControlledSetup::rtx4090_b();
-    let workload = setup
-        .generator(RateDist::Fixed(100.0))
-        .generate(11);
+    let workload = setup.generator(RateDist::Fixed(100.0)).generate(11);
 
     let variants: [(&str, bool, bool, bool); 5] = [
         ("TokenFlow (full)", true, true, true),
@@ -182,7 +186,13 @@ pub fn table2() -> String {
         ("w/o evict-load overlap", true, true, false),
         ("w/o WT + overlap", true, false, false),
     ];
-    let mut t = Table::new(vec!["variant", "completion (s)", "vs full", "preempts", "recomputes"]);
+    let mut t = Table::new(vec![
+        "variant",
+        "completion (s)",
+        "vs full",
+        "preempts",
+        "recomputes",
+    ]);
     let mut full_time = 0.0;
     let mut s = String::from(
         "Ablation on the 4090 (b) burst (80 requests, long lengths,\n\

@@ -161,7 +161,8 @@ pub fn fig11() -> String {
     );
     let w = gen.generate(7);
     let stats = w.stats();
-    let mut s = String::from("Synthetic industrial trace (diurnal intensity, heavy-tailed lengths):\n\n");
+    let mut s =
+        String::from("Synthetic industrial trace (diurnal intensity, heavy-tailed lengths):\n\n");
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec!["requests".into(), stats.count.to_string()]);
     t.row(vec!["span (s)".into(), f(stats.span.as_secs_f64(), 0)]);

@@ -7,6 +7,7 @@
 //! numbers (the substrate is an analytical simulator, not the authors'
 //! testbed).
 
+pub mod cluster;
 pub mod e2e;
 pub mod kvmem;
 pub mod micro;
@@ -114,6 +115,11 @@ pub fn all() -> Vec<Experiment> {
             id: "table2",
             title: "Ablation of the hierarchical memory manager",
             run: kvmem::table2,
+        },
+        Experiment {
+            id: "cluster",
+            title: "Cluster scaling: 1/2/4 replicas × routing policy under burst",
+            run: cluster::cluster_burst,
         },
     ]
 }

@@ -92,11 +92,7 @@ pub fn fig19() -> String {
         "worst stall (s)",
     ]);
     for target in [15.0, 20.0] {
-        let class: Vec<_> = out
-            .records
-            .iter()
-            .filter(|r| r.rate == target)
-            .collect();
+        let class: Vec<_> = out.records.iter().filter(|r| r.rate == target).collect();
         let rates: Vec<f64> = class
             .iter()
             .filter_map(|r| {
@@ -131,20 +127,12 @@ pub fn fig20() -> String {
         "Effective throughput at rising stream rates (burst of 300 on H200,\n\
          mem-frac 0.3). Paper gains: +53.7% / +48.7% / +52.9%.\n\n",
     );
-    let mut t = Table::new(vec![
-        "speed (tok/s)",
-        "SGLang eff",
-        "TokenFlow eff",
-        "gain",
-    ]);
+    let mut t = Table::new(vec!["speed (tok/s)", "SGLang eff", "TokenFlow eff", "gain"]);
     for rate in [20.0, 25.0, 30.0] {
         let setup = ControlledSetup::h200_a();
-        let workload = setup
-            .generator(RateDist::Fixed(rate))
-            .generate(9);
+        let workload = setup.generator(RateDist::Fixed(rate)).generate(9);
         let mk_cfg = || {
-            EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
-                .with_mem_frac(0.3)
+            EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200()).with_mem_frac(0.3)
         };
         let sgl = run_cell(mk_cfg(), "fcfs", &workload);
         let tf = run_cell(mk_cfg(), "tokenflow", &workload);

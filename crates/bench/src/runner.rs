@@ -1,6 +1,6 @@
 //! Shared experiment-running utilities.
 
-use tokenflow_core::{run_simulation, EngineConfig, SimOutcome};
+use tokenflow_core::{run_simulation_boxed, EngineConfig, SimOutcome};
 use tokenflow_sched::{
     AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowScheduler,
 };
@@ -28,7 +28,7 @@ pub fn make_scheduler(which: &str) -> Box<dyn Scheduler> {
 
 /// Runs one (config, scheduler, workload) cell.
 pub fn run_cell(config: EngineConfig, which: &str, workload: &Workload) -> SimOutcome {
-    run_simulation(config, make_scheduler(which), workload)
+    run_simulation_boxed(config, make_scheduler(which), workload)
 }
 
 /// Runs all four systems on a workload and renders the standard

@@ -188,7 +188,11 @@ mod tests {
         let spread = |mode| {
             Language::ALL
                 .iter()
-                .flat_map(|&l| AgeGroup::ALL.iter().map(move |&a| consumption_rate(mode, l, a)))
+                .flat_map(|&l| {
+                    AgeGroup::ALL
+                        .iter()
+                        .map(move |&a| consumption_rate(mode, l, a))
+                })
                 .fold((f64::MAX, f64::MIN), |(lo, hi), r| (lo.min(r), hi.max(r)))
         };
         let (rlo, rhi) = spread(ConsumptionMode::Reading);

@@ -1,0 +1,291 @@
+//! The cluster engine: N replicas, one simulated timeline.
+
+use std::collections::VecDeque;
+
+use tokenflow_core::{Engine, EngineConfig, SimOutcome};
+use tokenflow_metrics::{QosParams, RequestMetrics, RunReport};
+use tokenflow_sched::Scheduler;
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_workload::{RequestSpec, Workload};
+
+use crate::router::Router;
+
+/// Where one cluster request ended up. An [`Assignment`]'s position in
+/// [`ClusterOutcome::assignments`] is the request's index in cluster
+/// submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Replica the router chose.
+    pub replica: usize,
+    /// Dense id the replica's engine assigned.
+    pub local_id: RequestId,
+}
+
+/// Everything measured during one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Per-replica outcomes, in replica order.
+    pub replicas: Vec<SimOutcome>,
+    /// Exact merged report, recomputed from every replica's per-request
+    /// records over the cluster timeline (see
+    /// [`RunReport::from_records`]).
+    pub merged: RunReport,
+    /// Router decisions, in submission order.
+    pub assignments: Vec<Assignment>,
+    /// The routing policy's name.
+    pub router: String,
+    /// Whether every replica ran its share to completion.
+    pub complete: bool,
+}
+
+/// Drives N independent engine replicas on one simulated clock behind a
+/// pluggable [`Router`].
+///
+/// Requests are dispatched to replicas when the cluster timeline reaches
+/// their arrival (router decisions see each replica's live
+/// [`load_snapshot`](Engine::load_snapshot)); replicas then advance in
+/// lockstep, always stepping the replica furthest behind, so no replica's
+/// decisions ever depend on another's future.
+///
+/// # Examples
+///
+/// ```
+/// use tokenflow_cluster::{ClusterEngine, LeastLoadedRouter};
+/// use tokenflow_core::EngineConfig;
+/// use tokenflow_model::{HardwareProfile, ModelProfile};
+/// use tokenflow_sched::FcfsScheduler;
+/// use tokenflow_sim::{RequestId, SimTime};
+/// use tokenflow_workload::{RequestSpec, Workload};
+///
+/// let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+/// let mut cluster = ClusterEngine::new(config, 2, LeastLoadedRouter::new(), || {
+///     Box::new(FcfsScheduler::new())
+/// });
+/// cluster.submit_workload(&Workload::new(vec![RequestSpec {
+///     id: RequestId(0),
+///     arrival: SimTime::ZERO,
+///     prompt_tokens: 128,
+///     output_tokens: 32,
+///     rate: 20.0,
+/// }]));
+/// assert!(cluster.run_to_completion());
+/// let outcome = cluster.into_outcome();
+/// assert_eq!(outcome.merged.completed, 1);
+/// ```
+pub struct ClusterEngine {
+    replicas: Vec<Engine>,
+    router: Box<dyn Router>,
+    /// Undispatched requests, sorted by arrival (submission order).
+    pending: VecDeque<RequestSpec>,
+    /// Per-replica "reported done" flags from the last step.
+    done: Vec<bool>,
+    assignments: Vec<Assignment>,
+    qos: QosParams,
+    deadline: SimDuration,
+}
+
+impl ClusterEngine {
+    /// Creates a cluster of `replicas` engines sharing one configuration,
+    /// each with its own scheduler instance from `scheduler_factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or the configuration does not fit the
+    /// model (see [`Engine::new`]).
+    pub fn new(
+        config: EngineConfig,
+        replicas: usize,
+        router: impl Router + 'static,
+        mut scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
+    ) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        let engines: Vec<Engine> = (0..replicas)
+            .map(|_| Engine::from_boxed(config.clone(), scheduler_factory()))
+            .collect();
+        ClusterEngine {
+            done: vec![true; engines.len()],
+            replicas: engines,
+            router: Box::new(router),
+            pending: VecDeque::new(),
+            assignments: Vec::new(),
+            qos: config.qos,
+            deadline: config.deadline,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The routing policy's name.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// The cluster timeline: the furthest-behind replica that still has
+    /// work (its clock is where the lockstep loop operates). A finished
+    /// replica's clock freezes, so once everything is idle the timeline
+    /// is the furthest-ahead clock instead.
+    pub fn now(&self) -> SimTime {
+        let busy = (0..self.replicas.len())
+            .filter(|&i| !self.done[i])
+            .map(|i| self.replicas[i].now())
+            .min();
+        busy.unwrap_or_else(|| {
+            self.replicas
+                .iter()
+                .map(|e| e.now())
+                .max()
+                .expect("non-empty replica set")
+        })
+    }
+
+    /// Queues one request for routed dispatch at its arrival time.
+    ///
+    /// Requests must be submitted in non-decreasing arrival order (as
+    /// [`Workload`] construction guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` arrives before an already-queued request.
+    pub fn submit(&mut self, spec: RequestSpec) {
+        if let Some(last) = self.pending.back() {
+            assert!(
+                last.arrival <= spec.arrival,
+                "cluster submissions must be in arrival order"
+            );
+        }
+        self.pending.push_back(spec);
+    }
+
+    /// Queues a whole workload.
+    pub fn submit_workload(&mut self, workload: &Workload) {
+        for spec in workload.iter() {
+            self.submit(*spec);
+        }
+    }
+
+    fn snapshots(&self) -> Vec<tokenflow_core::EngineLoad> {
+        self.replicas.iter().map(|e| e.load_snapshot()).collect()
+    }
+
+    /// Routes every pending request whose arrival is due by `t`.
+    fn dispatch_due(&mut self, t: SimTime) {
+        while self.pending.front().is_some_and(|s| s.arrival <= t) {
+            let spec = self.pending.pop_front().expect("front checked");
+            let loads = self.snapshots();
+            let replica = self.router.route(&spec, &loads);
+            assert!(replica < self.replicas.len(), "router index out of range");
+            let local_id = self.replicas[replica].submit(spec);
+            self.assignments.push(Assignment { replica, local_id });
+            self.done[replica] = false;
+        }
+    }
+
+    /// Runs one cluster scheduling round: dispatch due arrivals, then step
+    /// the furthest-behind busy replica. Returns `false` once every
+    /// request has been dispatched and every replica reports done.
+    pub fn step(&mut self) -> bool {
+        // The furthest-behind replica that still has work.
+        let behind = (0..self.replicas.len())
+            .filter(|&i| !self.done[i])
+            .min_by_key(|&i| (self.replicas[i].now(), i));
+        match behind {
+            Some(i) => {
+                // Dispatch everything due by the step's start so routing
+                // happens before time passes it. (This may wake an even
+                // further-behind replica; the next round steps it first.)
+                self.dispatch_due(self.replicas[i].now());
+                let out = self.replicas[i].step();
+                self.done[i] = out.done;
+                true
+            }
+            None => {
+                let Some(next) = self.pending.front() else {
+                    return false;
+                };
+                // Every replica is idle: jump the timeline to the next
+                // arrival group and dispatch it.
+                let t = next.arrival;
+                self.dispatch_due(t);
+                true
+            }
+        }
+    }
+
+    /// Runs until every submitted request completes on its replica (or a
+    /// replica hits the configured deadline). Returns whether the cluster
+    /// completed.
+    pub fn run_to_completion(&mut self) -> bool {
+        let deadline = SimTime::ZERO + self.deadline;
+        while self.step() {
+            // Completion wins over the deadline: a final iteration that
+            // both finishes the workload and crosses the cut-off is a
+            // completed run (mirroring Engine::run_to_completion's
+            // done-first ordering).
+            if self.pending.is_empty() && self.done.iter().all(|&d| d) {
+                return true;
+            }
+            // The frontier clock (not the trailing one — a finished
+            // replica's clock freezes) decides the deadline cut-off.
+            let frontier = self
+                .replicas
+                .iter()
+                .map(|e| e.now())
+                .max()
+                .expect("non-empty replica set");
+            if frontier >= deadline {
+                return false;
+            }
+        }
+        self.pending.is_empty() && self.done.iter().all(|&d| d)
+    }
+
+    /// Finalises every replica and returns per-replica plus merged
+    /// results, consuming the cluster.
+    pub fn into_outcome(self) -> ClusterOutcome {
+        let router = self.router.name().to_string();
+        let complete = self.pending.is_empty();
+        let replicas: Vec<SimOutcome> = self
+            .replicas
+            .into_iter()
+            .map(|e| e.into_outcome())
+            .collect();
+        let complete = complete && replicas.iter().all(|o| o.complete);
+        // Exact merge: recompute the run report from every replica's
+        // per-request records over the cluster's full timeline.
+        let all_records: Vec<RequestMetrics> = replicas
+            .iter()
+            .flat_map(|o| o.records.iter().cloned())
+            .collect();
+        let duration = replicas
+            .iter()
+            .map(|o| o.sim_time)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let merged = RunReport::from_records(&all_records, duration, &self.qos);
+        ClusterOutcome {
+            replicas,
+            merged,
+            assignments: self.assignments,
+            router,
+            complete,
+        }
+    }
+}
+
+/// Runs a whole workload through a fresh cluster: the one-call entry
+/// point mirroring [`tokenflow_core::run_simulation`].
+pub fn run_cluster(
+    config: EngineConfig,
+    replicas: usize,
+    router: impl Router + 'static,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
+    workload: &Workload,
+) -> ClusterOutcome {
+    let mut cluster = ClusterEngine::new(config, replicas, router, scheduler_factory);
+    cluster.submit_workload(workload);
+    cluster.run_to_completion();
+    cluster.into_outcome()
+}

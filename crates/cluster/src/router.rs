@@ -1,0 +1,211 @@
+//! Request routing across engine replicas.
+//!
+//! A [`Router`] sees only [`EngineLoad`] snapshots — never engine
+//! internals — so routing policies stay decoupled from the serving
+//! pipeline and deterministic. Three built-in policies cover the classic
+//! spectrum:
+//!
+//! * [`RoundRobinRouter`] — load-oblivious rotation, the baseline.
+//! * [`LeastLoadedRouter`] — joins the replica with the fewest live
+//!   requests (join-shortest-queue).
+//! * [`RateAwareRouter`] — QoS routing: balances *declared streaming
+//!   demand* (`Σ rᵢ`, the left side of the paper's schedulability test)
+//!   rather than request counts, scaled by each replica's KV headroom, so
+//!   a replica stuffed with high-rate streams is not treated as equal to
+//!   one serving slow readers.
+
+use tokenflow_core::EngineLoad;
+use tokenflow_workload::RequestSpec;
+
+/// A cluster routing policy.
+///
+/// Implementations must be deterministic: identical snapshots and specs
+/// must produce identical choices, so cluster runs reproduce bit-for-bit.
+pub trait Router {
+    /// Short policy name for reports (e.g. `"least-loaded"`).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the replica (an index into `loads`) for one request.
+    ///
+    /// `loads` holds one snapshot per replica, in replica order, and is
+    /// never empty.
+    fn route(&mut self, spec: &RequestSpec, loads: &[EngineLoad]) -> usize;
+}
+
+/// Boxed routers are routers.
+impl<R: Router + ?Sized> Router for Box<R> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn route(&mut self, spec: &RequestSpec, loads: &[EngineLoad]) -> usize {
+        (**self).route(spec, loads)
+    }
+}
+
+/// Load-oblivious rotation over replicas.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl RoundRobinRouter {
+    /// Creates a router starting at replica 0.
+    pub fn new() -> Self {
+        RoundRobinRouter::default()
+    }
+}
+
+impl Router for RoundRobinRouter {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _spec: &RequestSpec, loads: &[EngineLoad]) -> usize {
+        let choice = self.next % loads.len();
+        self.next = (self.next + 1) % loads.len();
+        choice
+    }
+}
+
+/// Join-shortest-queue: the replica with the fewest live requests wins;
+/// ties break toward more free KV, then the lowest index.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoadedRouter;
+
+impl LeastLoadedRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        LeastLoadedRouter
+    }
+}
+
+impl Router for LeastLoadedRouter {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _spec: &RequestSpec, loads: &[EngineLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| (l.live, u64::MAX - l.gpu_free_tokens, *i))
+            .map(|(i, _)| i)
+            .expect("non-empty replica set")
+    }
+}
+
+/// Rate-aware QoS routing: joins the replica where the request's declared
+/// streaming rate fits the most demand headroom.
+///
+/// Each replica is scored by its post-admission demand `Σ rᵢ + r_new`,
+/// inflated by KV memory pressure (a replica whose pool is nearly full
+/// will have to preempt to admit anything, so its effective capacity is
+/// discounted). Lowest score wins; ties break toward the lowest index.
+#[derive(Debug, Clone, Default)]
+pub struct RateAwareRouter;
+
+impl RateAwareRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        RateAwareRouter
+    }
+
+    fn score(spec: &RequestSpec, load: &EngineLoad) -> f64 {
+        let demand = load.rate_sum + spec.rate;
+        let pressure = if load.gpu_total_tokens == 0 {
+            1.0
+        } else {
+            1.0 - load.gpu_free_tokens as f64 / load.gpu_total_tokens as f64
+        };
+        // Queued transfers signal a replica already rotating its working
+        // set; weight them like extra pressure.
+        let churn = (load.d2h_queue_len + load.h2d_queue_len) as f64 * 0.01;
+        demand * (1.0 + pressure + churn)
+    }
+}
+
+impl Router for RateAwareRouter {
+    fn name(&self) -> &'static str {
+        "rate-aware"
+    }
+
+    fn route(&mut self, spec: &RequestSpec, loads: &[EngineLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| Self::score(spec, a).total_cmp(&Self::score(spec, b)))
+            .map(|(i, _)| i)
+            .expect("non-empty replica set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokenflow_sim::{RequestId, SimTime};
+
+    fn load(live: usize, rate_sum: f64, free: u64) -> EngineLoad {
+        EngineLoad {
+            now: SimTime::ZERO,
+            submitted: live,
+            live,
+            waiting: 0,
+            running: live,
+            transitioning: 0,
+            rate_sum,
+            gpu_free_tokens: free,
+            gpu_total_tokens: 100_000,
+            d2h_queue_len: 0,
+            h2d_queue_len: 0,
+        }
+    }
+
+    fn spec(rate: f64) -> RequestSpec {
+        RequestSpec {
+            id: RequestId(0),
+            arrival: SimTime::ZERO,
+            prompt_tokens: 128,
+            output_tokens: 128,
+            rate,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = RoundRobinRouter::new();
+        let loads = vec![load(0, 0.0, 1), load(9, 180.0, 1), load(3, 60.0, 1)];
+        let picks: Vec<usize> = (0..6).map(|_| r.route(&spec(10.0), &loads)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_picks_fewest_live() {
+        let mut r = LeastLoadedRouter::new();
+        let loads = vec![load(5, 0.0, 1), load(2, 500.0, 1), load(7, 0.0, 1)];
+        assert_eq!(r.route(&spec(10.0), &loads), 1);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_free_memory_then_index() {
+        let mut r = LeastLoadedRouter::new();
+        let loads = vec![load(2, 0.0, 100), load(2, 0.0, 900), load(2, 0.0, 900)];
+        assert_eq!(r.route(&spec(10.0), &loads), 1);
+    }
+
+    #[test]
+    fn rate_aware_prefers_low_demand_over_low_count() {
+        let mut r = RateAwareRouter::new();
+        // Replica 0 has fewer requests but far more declared demand.
+        let loads = vec![load(2, 400.0, 50_000), load(6, 90.0, 50_000)];
+        assert_eq!(r.route(&spec(15.0), &loads), 1);
+    }
+
+    #[test]
+    fn rate_aware_discounts_memory_pressure() {
+        let mut r = RateAwareRouter::new();
+        // Equal demand; replica 0's pool is nearly exhausted.
+        let loads = vec![load(4, 100.0, 1_000), load(4, 100.0, 90_000)];
+        assert_eq!(r.route(&spec(15.0), &loads), 1);
+    }
+}

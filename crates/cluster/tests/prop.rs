@@ -1,0 +1,119 @@
+//! Property tests: routing conservation across random workloads, replica
+//! counts, and routing policies.
+//!
+//! The conservation contract: every submitted request lands on exactly
+//! one replica, and the merged report's counts equal the sum of the
+//! per-replica counts — no request is dropped, duplicated, or
+//! double-counted by the cluster layer.
+
+use proptest::prelude::*;
+
+use tokenflow_cluster::{
+    run_cluster, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
+};
+use tokenflow_core::EngineConfig;
+use tokenflow_metrics::RunReport;
+use tokenflow_model::{HardwareProfile, ModelProfile};
+use tokenflow_sched::{FcfsScheduler, Scheduler, TokenFlowScheduler};
+use tokenflow_sim::{RequestId, SimTime};
+use tokenflow_workload::{RequestSpec, Workload};
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::collection::vec((0u64..2_000, 16u64..256, 8u64..160, 5.0f64..40.0), 1..24).prop_map(
+        |specs| {
+            Workload::new(
+                specs
+                    .into_iter()
+                    .map(|(arrival_ms, prompt, output, rate)| RequestSpec {
+                        id: RequestId(0),
+                        arrival: SimTime::from_millis(arrival_ms),
+                        prompt_tokens: prompt,
+                        output_tokens: output,
+                        rate,
+                    })
+                    .collect(),
+            )
+        },
+    )
+}
+
+fn router(which: u8) -> Box<dyn Router> {
+    match which % 3 {
+        0 => Box::new(RoundRobinRouter::new()),
+        1 => Box::new(LeastLoadedRouter::new()),
+        _ => Box::new(RateAwareRouter::new()),
+    }
+}
+
+fn scheduler(which: u8) -> Box<dyn Scheduler> {
+    if which.is_multiple_of(2) {
+        Box::new(FcfsScheduler::new())
+    } else {
+        Box::new(TokenFlowScheduler::new())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_request_lands_on_exactly_one_replica(
+        w in arb_workload(),
+        replicas in 1usize..5,
+        which_router in 0u8..3,
+        which_sched in 0u8..2,
+    ) {
+        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
+            .with_max_batch(8);
+        let out = run_cluster(
+            config,
+            replicas,
+            router(which_router),
+            || scheduler(which_sched),
+            &w,
+        );
+        prop_assert!(out.complete);
+
+        // One assignment per submitted request, each to a valid replica.
+        prop_assert_eq!(out.assignments.len(), w.len());
+        for a in &out.assignments {
+            prop_assert!(a.replica < replicas);
+        }
+
+        // Per-replica assignment counts match what each engine recorded,
+        // and local ids are dense per replica (each request materialised
+        // exactly once on its replica).
+        let mut per_replica = vec![0usize; replicas];
+        for a in &out.assignments {
+            prop_assert_eq!(a.local_id, RequestId(per_replica[a.replica] as u64));
+            per_replica[a.replica] += 1;
+        }
+        for (idx, o) in out.replicas.iter().enumerate() {
+            prop_assert_eq!(o.report.submitted, per_replica[idx]);
+        }
+
+        // Merged counts equal the sum of per-replica counts — for the
+        // exact record-level merge the cluster reports, and for the
+        // summary-level merge in the metrics crate.
+        let sums = |f: fn(&RunReport) -> usize| -> usize {
+            out.replicas.iter().map(|o| f(&o.report)).sum()
+        };
+        prop_assert_eq!(out.merged.submitted, sums(|r| r.submitted));
+        prop_assert_eq!(out.merged.completed, sums(|r| r.completed));
+        prop_assert_eq!(out.merged.completed, w.len());
+        let tokens: u64 = out
+            .replicas
+            .iter()
+            .flat_map(|o| o.records.iter().map(|r| r.generated))
+            .sum();
+        let expected: u64 = w.iter().map(|s| s.output_tokens).sum();
+        prop_assert_eq!(tokens, expected);
+
+        let summary_merged = RunReport::merged(out.replicas.iter().map(|o| &o.report));
+        prop_assert_eq!(summary_merged.submitted, out.merged.submitted);
+        prop_assert_eq!(summary_merged.completed, out.merged.completed);
+        prop_assert_eq!(summary_merged.stall_events, out.merged.stall_events);
+        prop_assert_eq!(summary_merged.preemptions, out.merged.preemptions);
+        prop_assert_eq!(summary_merged.duration, out.merged.duration);
+    }
+}

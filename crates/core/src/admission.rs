@@ -1,0 +1,225 @@
+//! Pipeline stage 1 — admission: arrival ingest, scheduler context
+//! construction, and plan application.
+//!
+//! The stage turns the outside world (arrival events) and the scheduler's
+//! decisions ([`Action`]s) into request-phase transitions, routing KV
+//! work through the [`KvManager`]. It owns no state: everything operates
+//! on `&mut` views of [`EngineState`].
+
+use tokenflow_kv::{Direction, EvictStart, KvManager};
+use tokenflow_model::CostModel;
+use tokenflow_sched::{Action, PreemptMode, ReqView, SchedContext, SchedContextBuilder, Scheduler};
+use tokenflow_sim::{EventQueue, RequestId, SimTime};
+
+use crate::config::EngineConfig;
+use crate::profiler::EngineProfilers;
+use crate::state::{EngineState, Phase};
+
+/// Pops every arrival due by `now`, marking the requests live.
+pub(crate) fn ingest_arrivals(
+    arrivals: &mut EventQueue<RequestId>,
+    st: &mut EngineState,
+    now: SimTime,
+) {
+    while let Some(entry) = arrivals.pop_due(now) {
+        st.live_count += 1;
+        // Requests cannot leave WaitingNew before they arrive (the
+        // scheduler only ever sees arrived requests), so each arrival
+        // joins the waiting pool.
+        debug_assert_eq!(st.state(entry.event).phase, Phase::WaitingNew);
+        st.waiting_count += 1;
+    }
+}
+
+/// Builds the read-only scheduling context the policy plans against.
+///
+/// Γ — the decode capacity estimate — is the capacity the hardware could
+/// sustain at the live requests' context sizes (the largest memory-feasible
+/// batch priced by the cost model), floored against the measured trailing
+/// throughput. Using measured throughput alone would read pacing or
+/// prefill phases as capacity collapses.
+pub(crate) fn build_ctx(
+    st: &mut EngineState,
+    kv: &KvManager,
+    cost: &CostModel,
+    config: &EngineConfig,
+    profs: &EngineProfilers,
+    now: SimTime,
+) -> SchedContext {
+    let mut views = Vec::new();
+    for i in 0..st.requests.len() {
+        let id = RequestId(i as u64);
+        let (arrived, phase) = {
+            let s = &st.requests[i];
+            (s.spec.arrival <= now, s.phase)
+        };
+        if !arrived {
+            continue;
+        }
+        let Some(sched_phase) = phase.sched_phase() else {
+            continue;
+        };
+        let evict_secs = kv.estimated_evict_time(id, now).as_secs_f64();
+        let load_secs = kv.estimated_load_time(id, now).as_secs_f64();
+        let reserved = if st.requests[i].phase == Phase::Prefilling {
+            st.requests[i].prefill_target
+        } else {
+            0
+        };
+        let s = &mut st.requests[i];
+        let snap = s.buffer.snapshot(now);
+        views.push(ReqView {
+            id,
+            phase: sched_phase,
+            arrival: s.spec.arrival,
+            rate: s.spec.rate,
+            prompt_tokens: s.spec.prompt_tokens,
+            context_tokens: s.context_tokens(),
+            remaining_tokens: s.remaining_tokens(),
+            buffered_tokens: snap.buffered,
+            buffered_secs: snap.buffered_secs,
+            stalled: snap.stalled_now,
+            started: s.generated > 0,
+            evict_secs,
+            load_secs,
+            reserved_tokens: reserved,
+            elastic: s.kind == tokenflow_workload::ClientKind::Agent,
+        });
+    }
+    let live_n = views.len().max(1) as u64;
+    let avg_ctx = (views.iter().map(|v| v.context_tokens).sum::<u64>() / live_n).max(128);
+    let n_fit = (kv.gpu_total_tokens() / avg_ctx).clamp(1, config.max_batch as u64) as u32;
+    let theoretical = cost.batch_throughput(n_fit, avg_ctx);
+    // Prefill work steals compute from decode: discount capacity by the
+    // fraction of wall time the recent prefill stream consumes.
+    let prefill_share =
+        (profs.prefill_rate.throughput(now) * profs.prefill.secs_per_token()).min(0.8);
+    let gamma = profs
+        .decode
+        .throughput(now)
+        .max(theoretical * (1.0 - prefill_share));
+    SchedContextBuilder::new(now)
+        .requests(views)
+        .memory(kv.gpu_free_tokens(), kv.gpu_total_tokens())
+        .io_state(
+            kv.io_queue_len(Direction::D2H),
+            kv.io_queue_len(Direction::H2D),
+            kv.io_eta(Direction::D2H, now),
+            kv.io_eta(Direction::H2D, now),
+        )
+        .profile(profs.prefill.secs_per_token(), gamma)
+        .link(config.hardware.pcie_bw, config.model.kv_bytes_per_token())
+        .max_batch(config.max_batch)
+        .build()
+}
+
+/// Starts (or restarts, after a discard) a request's prefill.
+fn admit_prefill(st: &mut EngineState, kv: &mut KvManager, id: RequestId) {
+    let phase = st.state(id).phase;
+    match phase {
+        Phase::WaitingNew => st.waiting_count -= 1,
+        Phase::OnCpu => {
+            // Recompute path: drop the host copy and re-prefill.
+            kv.drop_kv(id);
+            st.state_mut(id).metrics.recomputes += 1;
+        }
+        _ => return, // stale action; ignore
+    }
+    let s = st.state_mut(id);
+    s.prefill_target = s.context_tokens();
+    s.prefill_done = 0;
+    s.phase = Phase::Prefilling;
+    st.prefill_queue.push_back(id);
+}
+
+/// Removes a running request from the batch, offloading or discarding its
+/// KV per `mode`.
+pub(crate) fn apply_preempt(
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    id: RequestId,
+    mode: PreemptMode,
+    now: SimTime,
+) {
+    if st.state(id).phase != Phase::Running {
+        return; // stale action
+    }
+    st.remove_running(id);
+    st.state_mut(id).metrics.preemptions += 1;
+    let discard = |st: &mut EngineState, kv: &mut KvManager, id: RequestId| {
+        kv.drop_kv(id);
+        st.state_mut(id).phase = Phase::WaitingNew;
+        // A discarded victim was running, hence arrived: it rejoins the
+        // waiting pool until the scheduler re-admits its recompute.
+        st.waiting_count += 1;
+    };
+    match mode {
+        PreemptMode::Discard => discard(st, kv, id),
+        PreemptMode::Offload => match kv.begin_evict(id, now) {
+            Ok(EvictStart::Instant) => st.state_mut(id).phase = Phase::OnCpu,
+            Ok(EvictStart::InFlight) => st.state_mut(id).phase = Phase::Evicting,
+            Err(_) => discard(st, kv, id),
+        },
+    }
+}
+
+/// Applies the scheduler's plan, action by action, in order.
+pub(crate) fn apply_plan(
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    actions: Vec<Action>,
+    now: SimTime,
+) {
+    for action in actions {
+        match action {
+            Action::AdmitPrefill(id) => admit_prefill(st, kv, id),
+            Action::Resume(id) => {
+                if st.state(id).phase == Phase::OnCpu && kv.begin_load(id, now).is_ok() {
+                    st.state_mut(id).phase = Phase::Loading;
+                }
+            }
+            Action::Preempt { id, mode } => apply_preempt(st, kv, id, mode, now),
+        }
+    }
+}
+
+/// Emergency memory reclamation: ask the scheduler for victims until
+/// `needed_blocks` fit or no victims remain. Returns whether it fits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emergency_reclaim(
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    scheduler: &dyn Scheduler,
+    cost: &CostModel,
+    config: &EngineConfig,
+    profs: &EngineProfilers,
+    needed_blocks: u64,
+    now: SimTime,
+) -> bool {
+    let bt = config.block_tokens as u64;
+    let mode = scheduler.emergency_preempt_mode();
+    loop {
+        if kv.gpu_free_tokens() / bt >= needed_blocks {
+            return true;
+        }
+        let ctx = build_ctx(st, kv, cost, config, profs, now);
+        let Some(victim) = scheduler.emergency_victim(&ctx) else {
+            return false;
+        };
+        if st.state(victim).phase != Phase::Running {
+            return false;
+        }
+        // Offload may free only partially (in-flight flush); discard
+        // frees immediately. Either way the victim leaves the batch.
+        apply_preempt(st, kv, victim, mode, now);
+        if mode == PreemptMode::Offload
+            && kv.gpu_free_tokens() / bt < needed_blocks
+            && st.state(victim).phase == Phase::Evicting
+        {
+            // The flush is in flight; memory frees over the next chunks.
+            // The next iteration picks a new victim if the loop cannot
+            // make progress otherwise.
+            continue;
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Pipeline stage 3 — batch composition and cost-model pricing.
+//!
+//! Composes each iteration's prefill + decode batch under the scheduler's
+//! [`PrefillPolicy`] and decode gating, fits it into GPU memory (shedding
+//! work or triggering emergency reclamation when the pre-check fails), and
+//! prices the resulting iteration with the analytical cost model.
+
+use tokenflow_kv::KvManager;
+use tokenflow_model::{CostModel, IterationSpec};
+use tokenflow_sched::{PrefillPolicy, SchedContext, Scheduler};
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+use crate::admission;
+use crate::config::EngineConfig;
+use crate::profiler::EngineProfilers;
+use crate::state::{EngineState, Phase};
+
+/// One request's share of an iteration's prefill work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PrefillSlice {
+    /// The prefilling request.
+    pub id: RequestId,
+    /// Prompt tokens processed this iteration.
+    pub tokens: u64,
+    /// Whether this slice finishes the request's prefill.
+    pub completes: bool,
+}
+
+/// The compute batch of one engine iteration.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IterationBatch {
+    /// Decode members generating one token each.
+    pub decode: Vec<RequestId>,
+    /// Prefill slices, in queue order.
+    pub prefill: Vec<PrefillSlice>,
+}
+
+impl IterationBatch {
+    /// True when the iteration has no compute work at all.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.decode.is_empty() && self.prefill.is_empty()
+    }
+
+    /// Total prefill tokens this iteration.
+    pub(crate) fn prefill_tokens(&self) -> u64 {
+        self.prefill.iter().map(|p| p.tokens).sum()
+    }
+}
+
+/// Composes the iteration batch. Pacing policies may gate over-buffered
+/// requests out of this round (their KV stays put).
+pub(crate) fn compose(
+    st: &EngineState,
+    scheduler: &dyn Scheduler,
+    ctx: &SchedContext,
+    config: &EngineConfig,
+) -> IterationBatch {
+    let mut decode: Vec<RequestId> = st
+        .running
+        .iter()
+        .copied()
+        .filter(|&id| st.state(id).phase == Phase::Running)
+        .filter(|&id| {
+            ctx.requests
+                .iter()
+                .find(|v| v.id == id)
+                .is_none_or(|v| scheduler.decode_gate(v, ctx))
+        })
+        .collect();
+    let mut prefill: Vec<PrefillSlice> = Vec::new();
+    match scheduler.prefill_policy() {
+        PrefillPolicy::Full => {
+            if !st.prefill_queue.is_empty() {
+                // Dedicated prefill iteration: prefill has priority.
+                decode.clear();
+                let mut budget = config.max_prefill_tokens;
+                let queue: Vec<RequestId> = st.prefill_queue.iter().copied().collect();
+                for id in queue {
+                    let s = st.state(id);
+                    let remaining = s.prefill_target - s.prefill_done;
+                    if !prefill.is_empty() && remaining > budget {
+                        break;
+                    }
+                    // The head of the queue always gets at least one token
+                    // even when it alone exceeds the iteration budget (an
+                    // oversized prompt must still make progress); followers
+                    // fit fully or broke out above.
+                    let take = if prefill.is_empty() {
+                        remaining.min(config.max_prefill_tokens.max(1)).max(1)
+                    } else {
+                        remaining
+                    };
+                    prefill.push(PrefillSlice {
+                        id,
+                        tokens: take,
+                        completes: take == remaining,
+                    });
+                    budget = budget.saturating_sub(take);
+                    if budget == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        PrefillPolicy::Chunked(chunk) => {
+            let mut budget = chunk;
+            let queue: Vec<RequestId> = st.prefill_queue.iter().copied().collect();
+            for id in queue {
+                if budget == 0 {
+                    break;
+                }
+                let s = st.state(id);
+                let remaining = s.prefill_target - s.prefill_done;
+                let take = remaining.min(budget);
+                prefill.push(PrefillSlice {
+                    id,
+                    tokens: take,
+                    completes: take == remaining,
+                });
+                budget -= take;
+            }
+        }
+    }
+    IterationBatch { decode, prefill }
+}
+
+/// Blocks newly required by appending one token to each decode member.
+fn decode_blocks_needed(kv: &KvManager, decode: &[RequestId], bt: u64) -> u64 {
+    decode
+        .iter()
+        .filter(|&&id| kv.context_tokens(id).is_multiple_of(bt))
+        .count() as u64
+}
+
+/// Memory pre-check: makes room for decode appends plus completing
+/// prefills, first through the scheduler's emergency-reclaim path, then by
+/// deferring completing prefills, then by shedding decode members
+/// (largest buffer first) until the remainder fits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fit_memory(
+    batch: &mut IterationBatch,
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    scheduler: &dyn Scheduler,
+    cost: &CostModel,
+    config: &EngineConfig,
+    profs: &EngineProfilers,
+    now: SimTime,
+) {
+    let bt = config.block_tokens as u64;
+    let completing_blocks: u64 = batch
+        .prefill
+        .iter()
+        .filter(|p| p.completes)
+        .map(|p| st.state(p.id).prefill_target.div_ceil(bt))
+        .sum();
+    let mut needed = decode_blocks_needed(kv, &batch.decode, bt) + completing_blocks;
+    if kv.gpu_free_tokens() / bt < needed
+        && !admission::emergency_reclaim(st, kv, scheduler, cost, config, profs, needed, now)
+    {
+        // Defer completing prefills first.
+        if completing_blocks > 0 {
+            batch.prefill.clear();
+            needed = decode_blocks_needed(kv, &batch.decode, bt);
+        }
+        // Then shed decode members (largest buffer first) until the
+        // remainder fits. Occupancies are stable across shed rounds, so
+        // snapshot them once. (Buffers were already advanced to `now` by
+        // the admission stage's context snapshots, so this mutating read
+        // changes no state.)
+        let mut occupancy: Vec<u64> = batch
+            .decode
+            .iter()
+            .map(|&id| st.state_mut(id).buffer.buffered(now))
+            .collect();
+        while kv.gpu_free_tokens() / bt < needed && !batch.decode.is_empty() {
+            let (pos, _) = occupancy
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.cmp(b))
+                .expect("non-empty decode batch");
+            batch.decode.remove(pos);
+            occupancy.remove(pos);
+            needed = decode_blocks_needed(kv, &batch.decode, bt);
+        }
+    }
+
+    // Refresh decode after possible emergency preemptions.
+    batch
+        .decode
+        .retain(|&id| st.state(id).phase == Phase::Running);
+}
+
+/// Prices the iteration with the analytical cost model.
+pub(crate) fn price(
+    batch: &IterationBatch,
+    st: &EngineState,
+    cost: &CostModel,
+) -> (IterationSpec, SimDuration) {
+    let prefill_tokens = batch.prefill_tokens();
+    let prefill_past: u64 = batch
+        .prefill
+        .iter()
+        .map(|p| st.state(p.id).prefill_done)
+        .sum();
+    let decode_context: u64 = batch
+        .decode
+        .iter()
+        .map(|&id| st.state(id).context_tokens())
+        .sum();
+    let spec = IterationSpec {
+        prefill_tokens,
+        prefill_past_tokens: prefill_past,
+        prefill_seqs: batch.prefill.len() as u32,
+        decode_batch: batch.decode.len() as u32,
+        decode_context,
+    };
+    let time = cost.iteration_time(&spec);
+    (spec, time)
+}

@@ -89,12 +89,7 @@ impl EngineConfig {
 
     /// Configures the memory-hierarchy feature flags (for the Table 2
     /// ablations).
-    pub fn with_kv_features(
-        mut self,
-        offload: bool,
-        write_through: bool,
-        overlap: bool,
-    ) -> Self {
+    pub fn with_kv_features(mut self, offload: bool, write_through: bool, overlap: bool) -> Self {
         self.offload_enabled = offload;
         self.write_through = write_through && offload;
         self.load_evict_overlap = overlap;

@@ -1,64 +1,35 @@
-//! The continuous-batching serving engine.
-
-use std::collections::VecDeque;
+//! The serving engine: an orchestrating shell over the staged pipeline.
+//!
+//! [`Engine::step`] runs one continuous-batching iteration by driving the
+//! four pipeline stages in order:
+//!
+//! 1. [`admission`](crate::admission) — ingest due arrivals, build the
+//!    scheduler's context, apply its plan;
+//! 2. [`kv_orchestrator`](crate::kv_orchestrator) — apply finished KV
+//!    transfers and pump write-through sync;
+//! 3. [`batch`](crate::batch) — compose the prefill+decode batch, fit it
+//!    into memory, price it with the cost model;
+//! 4. [`delivery`](crate::delivery) — advance prefills, deliver decode
+//!    tokens into client buffers, finish requests, sample telemetry.
+//!
+//! The engine itself only owns the components and the clock; all stage
+//! logic lives in the stage modules, which is what lets the cluster crate
+//! drive many replicas of this loop on one simulated timeline.
 
 use tokenflow_client::TokenBuffer;
-use tokenflow_kv::{Direction, EvictStart, KvConfig, KvEvent, KvManager};
-use tokenflow_metrics::{
-    effective_weight, qos_token_weight, RequestMetrics, RunReport, TimeSeries, TokenTimeline,
-};
-use tokenflow_model::{CostModel, IterationSpec};
-use tokenflow_sched::{
-    Action, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, Scheduler,
-};
+use tokenflow_kv::{Direction, KvConfig, KvManager};
+use tokenflow_metrics::{RequestMetrics, RunReport, TokenTimeline};
+use tokenflow_model::CostModel;
+use tokenflow_sched::Scheduler;
 use tokenflow_sim::{Clock, EventQueue, RequestId, SimDuration, SimTime};
 use tokenflow_workload::{ClientKind, RequestSpec};
 
 use crate::config::EngineConfig;
+use crate::delivery::Telemetry;
 use crate::outcome::SimOutcome;
-use crate::profiler::{PrefillProfiler, ThroughputProfiler};
-
-/// Engine-internal request lifecycle phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Arrived; no KV anywhere; awaiting admission.
-    WaitingNew,
-    /// Admitted; prompt (or recompute context) being prefilled.
-    Prefilling,
-    /// In the decode batch.
-    Running,
-    /// Preempted; KV flushing to host.
-    Evicting,
-    /// Fully offloaded to host memory.
-    OnCpu,
-    /// KV loading back to the GPU.
-    Loading,
-    /// All output tokens generated.
-    Finished,
-}
-
-#[derive(Debug)]
-struct ReqState {
-    spec: RequestSpec,
-    kind: ClientKind,
-    buffer: TokenBuffer,
-    metrics: RequestMetrics,
-    phase: Phase,
-    generated: u64,
-    prefill_done: u64,
-    prefill_target: u64,
-    timeline: Option<TokenTimeline>,
-}
-
-impl ReqState {
-    fn context_tokens(&self) -> u64 {
-        self.spec.prompt_tokens + self.generated
-    }
-
-    fn remaining_tokens(&self) -> u64 {
-        self.spec.output_tokens - self.generated
-    }
-}
+use crate::profiler::EngineProfilers;
+use crate::state::{EngineLoad, EngineState, Phase, ReqState};
+use crate::{admission, batch, delivery, kv_orchestrator};
 
 /// What one engine step did.
 #[derive(Debug, Clone, Default)]
@@ -86,33 +57,32 @@ pub struct Engine {
     clock: Clock,
     scheduler: Box<dyn Scheduler>,
     kv: KvManager,
-    requests: Vec<ReqState>,
+    st: EngineState,
     arrivals: EventQueue<RequestId>,
-    prefill_queue: VecDeque<RequestId>,
-    running: Vec<RequestId>,
-    prefill_prof: PrefillProfiler,
-    thpt_prof: ThroughputProfiler,
-    /// Trailing prefill token rate, for the prefill share of capacity.
-    prefill_rate_prof: ThroughputProfiler,
-    queued_series: TimeSeries,
-    running_series: TimeSeries,
-    gpu_util_series: TimeSeries,
-    next_sample: SimTime,
+    profs: EngineProfilers,
+    telemetry: Telemetry,
     iterations: u64,
-    finished_count: usize,
-    live_count: usize,
     /// Minimum idle fast-forward so time-sliced schedulers get woken.
     idle_tick: SimDuration,
 }
 
 impl Engine {
     /// Creates an engine from a configuration and a scheduling policy.
+    /// Callers already holding a `Box<dyn Scheduler>` should prefer
+    /// [`Engine::from_boxed`], which skips the re-box and its extra
+    /// dispatch hop in the iteration loop.
     ///
     /// # Panics
     ///
     /// Panics if the configuration leaves no KV capacity (weights larger
     /// than the memory budget).
-    pub fn new(config: EngineConfig, scheduler: Box<dyn Scheduler>) -> Self {
+    pub fn new(config: EngineConfig, scheduler: impl Scheduler + 'static) -> Self {
+        Self::from_boxed(config, Box::new(scheduler))
+    }
+
+    /// [`Engine::new`] for an already-boxed policy (factories and
+    /// registries hand out `Box<dyn Scheduler>`); same panics.
+    pub fn from_boxed(config: EngineConfig, scheduler: Box<dyn Scheduler>) -> Self {
         let cost = config.cost_model();
         let gpu_tokens = cost.kv_token_capacity(config.mem_frac);
         assert!(
@@ -135,26 +105,16 @@ impl Engine {
         });
         let prefill_init = cost.prefill_time(512, 0).as_secs_f64() / 512.0;
         let thpt_init = cost.batch_throughput(config.max_batch.min(64), 1_024);
-        let sample_start = SimTime::ZERO + config.sample_interval;
         Engine {
             cost,
             clock: Clock::new(),
             scheduler,
             kv,
-            requests: Vec::new(),
+            st: EngineState::new(),
             arrivals: EventQueue::new(),
-            prefill_queue: VecDeque::new(),
-            running: Vec::new(),
-            prefill_prof: PrefillProfiler::new(prefill_init),
-            thpt_prof: ThroughputProfiler::new(SimDuration::from_secs(5), thpt_init),
-            prefill_rate_prof: ThroughputProfiler::new(SimDuration::from_secs(5), 0.0),
-            queued_series: TimeSeries::new("queued"),
-            running_series: TimeSeries::new("running"),
-            gpu_util_series: TimeSeries::new("gpu_util"),
-            next_sample: sample_start,
+            profs: EngineProfilers::new(prefill_init, thpt_init),
+            telemetry: Telemetry::new(config.sample_interval),
             iterations: 0,
-            finished_count: 0,
-            live_count: 0,
             idle_tick: SimDuration::from_millis(10),
             config,
         }
@@ -188,12 +148,12 @@ impl Engine {
             spec.rate.is_finite() && spec.rate > 0.0,
             "rate must be positive"
         );
-        let id = RequestId(self.requests.len() as u64);
+        let id = RequestId(self.st.requests.len() as u64);
         spec.id = id;
         let metrics = RequestMetrics::new(id, spec.arrival, spec.rate, spec.output_tokens);
-        let timeline = (id.0 < self.config.timeline_requests as u64)
-            .then(|| TokenTimeline::new(id));
-        self.requests.push(ReqState {
+        let timeline =
+            (id.0 < self.config.timeline_requests as u64).then(|| TokenTimeline::new(id));
+        self.st.requests.push(ReqState {
             buffer: TokenBuffer::new(spec.rate),
             kind,
             metrics,
@@ -204,6 +164,7 @@ impl Engine {
             timeline,
             spec,
         });
+        self.st.active_rate_sum += spec.rate;
         self.arrivals.push(spec.arrival, id);
         id
     }
@@ -218,218 +179,29 @@ impl Engine {
         self.scheduler.name()
     }
 
-    fn state(&self, id: RequestId) -> &ReqState {
-        &self.requests[id.0 as usize]
-    }
-
-    fn state_mut(&mut self, id: RequestId) -> &mut ReqState {
-        &mut self.requests[id.0 as usize]
-    }
-
-    fn sched_phase(phase: Phase) -> Option<ReqPhase> {
-        match phase {
-            Phase::WaitingNew => Some(ReqPhase::WaitingNew),
-            Phase::Prefilling | Phase::Evicting | Phase::Loading => Some(ReqPhase::Transitioning),
-            Phase::Running => Some(ReqPhase::Running),
-            Phase::OnCpu => Some(ReqPhase::WaitingCpu),
-            Phase::Finished => None,
-        }
-    }
-
-    fn build_ctx(&mut self, now: SimTime) -> SchedContext {
-        let mut views = Vec::new();
-        for i in 0..self.requests.len() {
-            let id = RequestId(i as u64);
-            let (arrived, phase) = {
-                let s = &self.requests[i];
-                (s.spec.arrival <= now, s.phase)
-            };
-            if !arrived {
-                continue;
-            }
-            let Some(sched_phase) = Self::sched_phase(phase) else {
-                continue;
-            };
-            let evict_secs = self.kv.estimated_evict_time(id, now).as_secs_f64();
-            let load_secs = self.kv.estimated_load_time(id, now).as_secs_f64();
-            let reserved = if self.requests[i].phase == Phase::Prefilling {
-                self.requests[i].prefill_target
-            } else {
-                0
-            };
-            let s = &mut self.requests[i];
-            let snap = s.buffer.snapshot(now);
-            views.push(ReqView {
-                id,
-                phase: sched_phase,
-                arrival: s.spec.arrival,
-                rate: s.spec.rate,
-                prompt_tokens: s.spec.prompt_tokens,
-                context_tokens: s.context_tokens(),
-                remaining_tokens: s.remaining_tokens(),
-                buffered_tokens: snap.buffered,
-                buffered_secs: snap.buffered_secs,
-                stalled: snap.stalled_now,
-                started: s.generated > 0,
-                evict_secs,
-                load_secs,
-                reserved_tokens: reserved,
-                elastic: s.kind == ClientKind::Agent,
-            });
-        }
-        // Γ: the capacity the hardware could sustain at the live requests'
-        // context sizes — the largest memory-feasible batch priced by the
-        // cost model — floored against the measured trailing throughput.
-        // (Using measured throughput alone would read pacing or prefill
-        // phases as capacity collapses.)
-        let live_n = views.len().max(1) as u64;
-        let avg_ctx = (views.iter().map(|v| v.context_tokens).sum::<u64>() / live_n).max(128);
-        let n_fit = (self.kv.gpu_total_tokens() / avg_ctx)
-            .clamp(1, self.config.max_batch as u64) as u32;
-        let theoretical = self.cost.batch_throughput(n_fit, avg_ctx);
-        // Prefill work steals compute from decode: discount capacity by the
-        // fraction of wall time the recent prefill stream consumes.
-        let prefill_share = (self.prefill_rate_prof.throughput(now)
-            * self.prefill_prof.secs_per_token())
-        .min(0.8);
-        let gamma = self
-            .thpt_prof
-            .throughput(now)
-            .max(theoretical * (1.0 - prefill_share));
-        SchedContext {
-            now,
-            requests: views,
+    /// A point-in-time load summary for routers and monitors.
+    ///
+    /// O(1): every field reads an incrementally-maintained counter, so
+    /// cluster routers can snapshot all replicas per dispatched request
+    /// without rescanning request tables.
+    pub fn load_snapshot(&self) -> EngineLoad {
+        EngineLoad {
+            now: self.clock.now(),
+            submitted: self.st.requests.len(),
+            live: self.st.requests.len() - self.st.finished_count,
+            waiting: self.st.waiting_count,
+            running: self.st.running.len(),
+            transitioning: self.kv.evicting_requests() + self.kv.loading_requests(),
+            rate_sum: self.st.active_rate_sum,
             gpu_free_tokens: self.kv.gpu_free_tokens(),
             gpu_total_tokens: self.kv.gpu_total_tokens(),
             d2h_queue_len: self.kv.io_queue_len(Direction::D2H),
             h2d_queue_len: self.kv.io_queue_len(Direction::H2D),
-            d2h_eta: self.kv.io_eta(Direction::D2H, now),
-            h2d_eta: self.kv.io_eta(Direction::H2D, now),
-            prefill_secs_per_token: self.prefill_prof.secs_per_token(),
-            decode_throughput: gamma,
-            pcie_bandwidth: self.config.hardware.pcie_bw,
-            kv_bytes_per_token: self.config.model.kv_bytes_per_token(),
-            max_batch: self.config.max_batch,
         }
     }
 
-    fn apply_kv_events(&mut self, events: Vec<KvEvent>) {
-        for event in events {
-            match event {
-                KvEvent::EvictDone { req, .. } => {
-                    let s = self.state_mut(req);
-                    if s.phase == Phase::Evicting {
-                        s.phase = Phase::OnCpu;
-                    }
-                }
-                KvEvent::LoadDone { req, .. } => {
-                    let s = self.state_mut(req);
-                    if s.phase == Phase::Loading {
-                        s.phase = Phase::Running;
-                        self.running.push(req);
-                        self.running.sort_unstable();
-                    }
-                }
-            }
-        }
-    }
-
-    fn admit_prefill(&mut self, id: RequestId) {
-        let phase = self.state(id).phase;
-        match phase {
-            Phase::WaitingNew => {}
-            Phase::OnCpu => {
-                // Recompute path: drop the host copy and re-prefill.
-                self.kv.drop_kv(id);
-                self.state_mut(id).metrics.recomputes += 1;
-            }
-            _ => return, // stale action; ignore
-        }
-        let s = self.state_mut(id);
-        s.prefill_target = s.context_tokens();
-        s.prefill_done = 0;
-        s.phase = Phase::Prefilling;
-        self.prefill_queue.push_back(id);
-    }
-
-    fn apply_preempt(&mut self, id: RequestId, mode: PreemptMode, now: SimTime) {
-        if self.state(id).phase != Phase::Running {
-            return; // stale action
-        }
-        self.running.retain(|&r| r != id);
-        self.state_mut(id).metrics.preemptions += 1;
-        let discard = |engine: &mut Engine, id: RequestId| {
-            engine.kv.drop_kv(id);
-            engine.state_mut(id).phase = Phase::WaitingNew;
-        };
-        match mode {
-            PreemptMode::Discard => discard(self, id),
-            PreemptMode::Offload => match self.kv.begin_evict(id, now) {
-                Ok(EvictStart::Instant) => self.state_mut(id).phase = Phase::OnCpu,
-                Ok(EvictStart::InFlight) => self.state_mut(id).phase = Phase::Evicting,
-                Err(_) => discard(self, id),
-            },
-        }
-    }
-
-    fn apply_plan(&mut self, actions: Vec<Action>, now: SimTime) {
-        for action in actions {
-            match action {
-                Action::AdmitPrefill(id) => self.admit_prefill(id),
-                Action::Resume(id) => {
-                    if self.state(id).phase == Phase::OnCpu
-                        && self.kv.begin_load(id, now).is_ok()
-                    {
-                        self.state_mut(id).phase = Phase::Loading;
-                    }
-                }
-                Action::Preempt { id, mode } => self.apply_preempt(id, mode, now),
-            }
-        }
-    }
-
-    /// Blocks newly required by appending one token to each decode member.
-    fn decode_blocks_needed(&self, decode: &[RequestId]) -> u64 {
-        let bt = self.config.block_tokens as u64;
-        decode
-            .iter()
-            .filter(|&&id| self.kv.context_tokens(id).is_multiple_of(bt))
-            .count() as u64
-    }
-
-    /// Emergency memory reclamation: ask the scheduler for victims until
-    /// `needed_blocks` fit or no victims remain. Returns whether it fits.
-    fn emergency_reclaim(&mut self, needed_blocks: u64, now: SimTime) -> bool {
-        let bt = self.config.block_tokens as u64;
-        let mode = self.scheduler.emergency_preempt_mode();
-        loop {
-            if self.kv.gpu_free_tokens() / bt >= needed_blocks {
-                return true;
-            }
-            let ctx = self.build_ctx(now);
-            let Some(victim) = self.scheduler.emergency_victim(&ctx) else {
-                return false;
-            };
-            if self.state(victim).phase != Phase::Running {
-                return false;
-            }
-            // Offload may free only partially (in-flight flush); discard
-            // frees immediately. Either way the victim leaves the batch.
-            self.apply_preempt(victim, mode, now);
-            if mode == PreemptMode::Offload
-                && self.kv.gpu_free_tokens() / bt < needed_blocks
-                && self.state(victim).phase == Phase::Evicting
-            {
-                // The flush is in flight; memory frees over the next
-                // chunks. Fall back to discarding the next victim if the
-                // loop cannot make progress otherwise — handled by the next
-                // iteration picking a new victim.
-                continue;
-            }
-        }
-    }
-
-    /// Runs one engine iteration. Returns what happened.
+    /// Runs one engine iteration through the staged pipeline. Returns what
+    /// happened.
     pub fn step(&mut self) -> StepOutcome {
         let now = self.clock.now();
         let mut outcome = StepOutcome {
@@ -437,285 +209,124 @@ impl Engine {
             ..StepOutcome::default()
         };
 
-        // 1. Ingest due arrivals.
-        while let Some(entry) = self.arrivals.pop_due(now) {
-            self.live_count += 1;
-            let _ = entry;
-        }
-
-        // 2. Apply finished KV transfers.
-        let events = self.kv.advance_to(now);
-        self.apply_kv_events(events);
-
-        // 3. Scheduling pass.
-        let ctx = self.build_ctx(now);
+        // Stage 1+2 (pre-compute): ingest arrivals, apply finished KV
+        // transfers, then let the scheduler plan against fresh state.
+        admission::ingest_arrivals(&mut self.arrivals, &mut self.st, now);
+        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, now);
+        let ctx = admission::build_ctx(
+            &mut self.st,
+            &self.kv,
+            &self.cost,
+            &self.config,
+            &self.profs,
+            now,
+        );
         let plan = self.scheduler.plan(&ctx);
-        self.apply_plan(plan.actions, now);
+        admission::apply_plan(&mut self.st, &mut self.kv, plan.actions, now);
 
-        // 4. Compose the iteration batch. Pacing policies may gate
-        // over-buffered requests out of this round (their KV stays put).
-        let policy = self.scheduler.prefill_policy();
-        let ctx_after_plan = self.build_ctx(now);
-        let mut decode: Vec<RequestId> = self
-            .running
-            .iter()
-            .copied()
-            .filter(|&id| self.state(id).phase == Phase::Running)
-            .filter(|&id| {
-                ctx_after_plan
-                    .requests
-                    .iter()
-                    .find(|v| v.id == id)
-                    .is_none_or(|v| self.scheduler.decode_gate(v, &ctx_after_plan))
-            })
-            .collect();
-        // (prefill request, tokens this iteration, completes?)
-        let mut prefill_work: Vec<(RequestId, u64, bool)> = Vec::new();
-        match policy {
-            PrefillPolicy::Full => {
-                if !self.prefill_queue.is_empty() {
-                    // Dedicated prefill iteration: prefill has priority.
-                    decode.clear();
-                    let mut budget = self.config.max_prefill_tokens;
-                    let queue: Vec<RequestId> = self.prefill_queue.iter().copied().collect();
-                    for id in queue {
-                        let s = self.state(id);
-                        let remaining = s.prefill_target - s.prefill_done;
-                        if !prefill_work.is_empty() && remaining > budget {
-                            break;
-                        }
-                        let take = remaining.min(budget.max(remaining.min(budget.max(1))));
-                        let take = if prefill_work.is_empty() {
-                            remaining.min(self.config.max_prefill_tokens.max(1)).max(1)
-                        } else {
-                            take
-                        };
-                        let completes = take == remaining;
-                        prefill_work.push((id, take, completes));
-                        budget = budget.saturating_sub(take);
-                        if budget == 0 {
-                            break;
-                        }
-                    }
-                }
-            }
-            PrefillPolicy::Chunked(chunk) => {
-                let mut budget = chunk;
-                let queue: Vec<RequestId> = self.prefill_queue.iter().copied().collect();
-                for id in queue {
-                    if budget == 0 {
-                        break;
-                    }
-                    let s = self.state(id);
-                    let remaining = s.prefill_target - s.prefill_done;
-                    let take = remaining.min(budget);
-                    prefill_work.push((id, take, take == remaining));
-                    budget -= take;
-                }
-            }
+        // Stage 3: compose the iteration batch against post-plan state and
+        // fit it into GPU memory.
+        let ctx_after_plan = admission::build_ctx(
+            &mut self.st,
+            &self.kv,
+            &self.cost,
+            &self.config,
+            &self.profs,
+            now,
+        );
+        let mut iter_batch = batch::compose(
+            &self.st,
+            self.scheduler.as_ref(),
+            &ctx_after_plan,
+            &self.config,
+        );
+        batch::fit_memory(
+            &mut iter_batch,
+            &mut self.st,
+            &mut self.kv,
+            self.scheduler.as_ref(),
+            &self.cost,
+            &self.config,
+            &self.profs,
+            now,
+        );
+
+        // Idle fast-forward when there is no compute work.
+        if iter_batch.is_idle() {
+            return self.idle_step(outcome);
         }
 
-        // 5. Memory pre-check: blocks for decode appends plus completing
-        // prefills.
-        let bt = self.config.block_tokens as u64;
-        let completing_blocks: u64 = prefill_work
-            .iter()
-            .filter(|(_, _, completes)| *completes)
-            .map(|(id, ..)| self.state(*id).prefill_target.div_ceil(bt))
-            .sum();
-        let mut needed = self.decode_blocks_needed(&decode) + completing_blocks;
-        if self.kv.gpu_free_tokens() / bt < needed && !self.emergency_reclaim(needed, now) {
-            // Defer completing prefills first.
-            if completing_blocks > 0 {
-                prefill_work.clear();
-                needed = self.decode_blocks_needed(&decode);
-            }
-            // Then shed decode members (largest buffer first) until the
-            // remainder fits.
-            while self.kv.gpu_free_tokens() / bt < needed && !decode.is_empty() {
-                let (pos, _) = decode
-                    .iter()
-                    .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        let ba = self.requests[a.0 as usize].buffer.clone().buffered(now);
-                        let bb = self.requests[b.0 as usize].buffer.clone().buffered(now);
-                        ba.cmp(&bb)
-                    })
-                    .expect("non-empty decode batch");
-                decode.remove(pos);
-                needed = self.decode_blocks_needed(&decode);
-            }
-        }
+        // Price the iteration.
+        let (spec, iter_time) = batch::price(&iter_batch, &self.st, &self.cost);
 
-        // Refresh decode after possible emergency preemptions.
-        decode.retain(|&id| self.state(id).phase == Phase::Running);
-
-        // 6. Idle fast-forward when there is no compute work.
-        if decode.is_empty() && prefill_work.is_empty() {
-            outcome.idle = true;
-            let mut wake = SimTime::MAX;
-            if let Some(t) = self.arrivals.peek_time() {
-                wake = wake.min(t);
-            }
-            if let Some(t) = self.kv.next_io_completion() {
-                wake = wake.min(t);
-            }
-            let any_live = self.live_count > self.finished_count;
-            if any_live {
-                wake = wake.min(now + self.idle_tick);
-            }
-            if wake == SimTime::MAX {
-                outcome.done = self.finished_count == self.requests.len();
-                return outcome;
-            }
-            let wake = wake.max(now + SimDuration::from_micros(1));
-            self.clock.advance_to(wake);
-            outcome.now = wake;
-            return outcome;
-        }
-
-        // 7. Price the iteration.
-        let prefill_tokens: u64 = prefill_work.iter().map(|(_, n, _)| n).sum();
-        let prefill_past: u64 = prefill_work
-            .iter()
-            .map(|(id, ..)| self.state(*id).prefill_done)
-            .sum();
-        let decode_context: u64 = decode
-            .iter()
-            .map(|&id| self.state(id).context_tokens())
-            .sum();
-        let spec = IterationSpec {
-            prefill_tokens,
-            prefill_past_tokens: prefill_past,
-            prefill_seqs: prefill_work.len() as u32,
-            decode_batch: decode.len() as u32,
-            decode_context,
-        };
-        let iter_time = self.cost.iteration_time(&spec);
-
-        // 8. Synchronous chunked writing: pump a compute-window's worth of
-        // background sync, with flush priorities tracking buffer occupancy.
-        for &id in &decode {
-            let buffered = self.requests[id.0 as usize].buffer.buffered(now);
-            self.kv.set_write_priority(id, buffered as f64);
-        }
-        self.kv.pump_writes(now, iter_time);
-
-        // 9. Advance time; transfers progress during compute.
+        // Stage 2 (in-compute): pump a compute-window's worth of
+        // write-through sync, then advance time — transfers progress
+        // during compute.
+        kv_orchestrator::pump_write_through(
+            &mut self.st,
+            &mut self.kv,
+            &iter_batch.decode,
+            now,
+            iter_time,
+        );
         let end = self.clock.advance(iter_time);
-        let events = self.kv.advance_to(end);
-        self.apply_kv_events(events);
+        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, end);
 
-        // 10. Apply prefill progress.
-        for (id, tokens, completes) in &prefill_work {
-            let s = self.state_mut(*id);
-            s.prefill_done += tokens;
-            if *completes {
-                debug_assert_eq!(s.prefill_done, s.prefill_target);
-                let target = s.prefill_target;
-                match self.kv.on_prefill(*id, target, end) {
-                    Ok(()) => {
-                        self.prefill_queue.retain(|&r| r != *id);
-                        self.state_mut(*id).phase = Phase::Running;
-                        self.running.push(*id);
-                        self.running.sort_unstable();
-                        // The prefill forward pass emits the next token.
-                        self.deliver_token(*id, end, &mut outcome);
-                    }
-                    Err(_) => {
-                        // Lost the memory race: retry the final allocation
-                        // next iteration (progress is kept).
-                        let s = self.state_mut(*id);
-                        s.prefill_done = s.prefill_target.saturating_sub(1);
-                    }
-                }
-            }
+        // Stage 4: deliveries and telemetry.
+        let qos = self.config.qos;
+        delivery::apply_prefill_progress(
+            &mut self.st,
+            &mut self.kv,
+            &iter_batch,
+            end,
+            &qos,
+            &mut outcome,
+        );
+        let decode_delivered = delivery::deliver_decode(
+            &mut self.st,
+            &mut self.kv,
+            &iter_batch,
+            now,
+            end,
+            &qos,
+            &mut outcome,
+        );
+        if spec.prefill_tokens > 0 {
+            self.profs.prefill.record(spec.prefill_tokens, iter_time);
         }
-
-        // 11. Decode deliveries.
-        let mut decode_delivered = 0u64;
-        for &id in &decode {
-            if self.state(id).phase != Phase::Running {
-                continue; // finished via prefill edge case; defensive
-            }
-            let buffered = self.requests[id.0 as usize].buffer.buffered(now) as f64;
-            if self.kv.append_token(id, buffered).is_err() {
-                // Could not extend KV despite the pre-check (extreme
-                // contention): skip this request's token this round.
-                continue;
-            }
-            self.deliver_token(id, end, &mut outcome);
-            decode_delivered += 1;
-        }
-
-        // 12. Profilers and sampling.
-        if prefill_tokens > 0 {
-            self.prefill_prof.record(prefill_tokens, iter_time);
-        }
-        self.prefill_rate_prof.record(end, prefill_tokens);
-        self.thpt_prof.record(end, decode_delivered);
-        self.sample(end);
+        self.profs.prefill_rate.record(end, spec.prefill_tokens);
+        self.profs.decode.record(end, decode_delivered);
+        self.telemetry.sample(&self.st, &self.kv, end);
         self.iterations += 1;
         outcome.now = end;
-        outcome.done = self.finished_count == self.requests.len() && self.arrivals.is_empty();
+        outcome.done = self.st.all_finished() && self.arrivals.is_empty();
         outcome
     }
 
-    fn deliver_token(&mut self, id: RequestId, at: SimTime, outcome: &mut StepOutcome) {
-        let qos = self.config.qos;
-        let s = self.state_mut(id);
-        debug_assert!(s.generated < s.spec.output_tokens);
-        let buffered_before = s.buffer.buffered(at);
-        s.generated += 1;
-        s.buffer.on_token(at);
-        if s.metrics.first_token_at.is_none() {
-            s.metrics.first_token_at = Some(at);
+    /// Fast-forwards an idle iteration to the next wake-up: an arrival, a
+    /// transfer completion, or one idle tick while requests are alive.
+    fn idle_step(&mut self, mut outcome: StepOutcome) -> StepOutcome {
+        let now = outcome.now;
+        outcome.idle = true;
+        let mut wake = SimTime::MAX;
+        if let Some(t) = self.arrivals.peek_time() {
+            wake = wake.min(t);
         }
-        s.metrics.generated = s.generated;
-        s.metrics.effective_tokens += effective_weight(buffered_before, s.spec.output_tokens);
-        s.metrics.qos_weight_sum +=
-            qos_token_weight(buffered_before, s.spec.output_tokens, &qos);
-        if let Some(tl) = s.timeline.as_mut() {
-            tl.record(at, s.generated);
+        if let Some(t) = kv_orchestrator::next_transfer_completion(&self.kv) {
+            wake = wake.min(t);
         }
-        outcome.delivered.push((id, s.generated));
-        if s.generated == s.spec.output_tokens {
-            s.phase = Phase::Finished;
-            s.metrics.finished_at = Some(at);
-            self.finished_count += 1;
-            self.running.retain(|&r| r != id);
-            self.prefill_queue.retain(|&r| r != id);
-            self.kv.drop_kv(id);
-            outcome.finished.push(id);
+        let any_live = self.st.live_count > self.st.finished_count;
+        if any_live {
+            wake = wake.min(now + self.idle_tick);
         }
-    }
-
-    fn sample(&mut self, now: SimTime) {
-        while self.next_sample <= now {
-            let t = self.next_sample;
-            // Queued = waiting with no KV anywhere (new arrivals and
-            // discard-preempted requests awaiting recompute). In-service =
-            // everything else alive: the running batch, transitions, and
-            // rotation members whose KV is parked on the host.
-            let queued = self
-                .requests
-                .iter()
-                .filter(|s| s.spec.arrival <= t && s.phase == Phase::WaitingNew)
-                .count();
-            let running = self
-                .requests
-                .iter()
-                .filter(|s| {
-                    s.spec.arrival <= t
-                        && s.phase != Phase::Finished
-                        && s.phase != Phase::WaitingNew
-                })
-                .count();
-            self.queued_series.push(t, queued as f64);
-            self.running_series.push(t, running as f64);
-            self.gpu_util_series.push(t, self.kv.gpu_pool().utilization());
-            self.next_sample = t + self.config.sample_interval;
+        if wake == SimTime::MAX {
+            outcome.done = self.st.all_finished();
+            return outcome;
         }
+        let wake = wake.max(now + SimDuration::from_micros(1));
+        self.clock.advance_to(wake);
+        outcome.now = wake;
+        outcome
     }
 
     /// Runs until every submitted request completes (or the safety deadline
@@ -739,8 +350,8 @@ impl Engine {
         let run_end = self.clock.now();
         // Let every reader drain its buffer so rebuffering is fully
         // accounted; unfinished requests are measured to run end.
-        let complete = self.finished_count == self.requests.len();
-        for s in &mut self.requests {
+        let complete = self.st.all_finished();
+        for s in &mut self.st.requests {
             // Finished requests are measured to the instant their reader
             // consumes the last token — the stream is over, the reader does
             // not stall on tokens that will never come. Unfinished requests
@@ -754,13 +365,14 @@ impl Engine {
             s.metrics.stall_events = snap.stall_events;
         }
         let records: Vec<RequestMetrics> =
-            self.requests.iter().map(|s| s.metrics.clone()).collect();
+            self.st.requests.iter().map(|s| s.metrics.clone()).collect();
         let report = RunReport::from_records(
             &records,
             run_end.saturating_since(SimTime::ZERO),
             &self.config.qos,
         );
         let timelines = self
+            .st
             .requests
             .iter_mut()
             .filter_map(|s| s.timeline.take())
@@ -768,241 +380,14 @@ impl Engine {
         SimOutcome {
             report,
             records,
-            queued_series: self.queued_series,
-            running_series: self.running_series,
-            gpu_util_series: self.gpu_util_series,
+            queued_series: self.telemetry.queued_series,
+            running_series: self.telemetry.running_series,
+            gpu_util_series: self.telemetry.gpu_util_series,
             timelines,
             scheduler: self.scheduler.name().to_string(),
             sim_time: run_end.saturating_since(SimTime::ZERO),
             complete,
             iterations: self.iterations,
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tokenflow_model::{HardwareProfile, ModelProfile};
-    use tokenflow_sched::{
-        AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, TokenFlowScheduler,
-    };
-
-    fn config() -> EngineConfig {
-        EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
-    }
-
-    fn spec(arrival_ms: u64, prompt: u64, output: u64, rate: f64) -> RequestSpec {
-        RequestSpec {
-            id: RequestId(0),
-            arrival: SimTime::from_millis(arrival_ms),
-            prompt_tokens: prompt,
-            output_tokens: output,
-            rate,
-        }
-    }
-
-    #[test]
-    fn single_request_completes() {
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        e.submit(spec(0, 128, 50, 20.0));
-        assert!(e.run_to_completion());
-        let out = e.into_outcome();
-        assert_eq!(out.report.completed, 1);
-        assert_eq!(out.records[0].generated, 50);
-        assert!(out.records[0].ttft().unwrap() > SimDuration::ZERO);
-    }
-
-    #[test]
-    fn ttft_includes_queueing_and_prefill() {
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        e.submit(spec(1_000, 512, 10, 20.0));
-        e.run_to_completion();
-        let out = e.into_outcome();
-        let first = out.records[0].first_token_at.unwrap();
-        // Arrival at 1 s plus a prefill pass.
-        assert!(first > SimTime::from_secs(1));
-        assert!(first < SimTime::from_secs(2));
-    }
-
-    #[test]
-    fn tokens_delivered_in_order_with_step_api() {
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        let id = e.submit(spec(0, 64, 20, 50.0));
-        let mut seen = Vec::new();
-        for _ in 0..10_000 {
-            let out = e.step();
-            for &(rid, n) in &out.delivered {
-                assert_eq!(rid, id);
-                seen.push(n);
-            }
-            if out.done {
-                break;
-            }
-        }
-        assert_eq!(seen, (1..=20).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    fn burst_creates_queueing_under_fcfs() {
-        let mut cfg = config().with_mem_frac(0.3).with_max_batch(16);
-        cfg.sample_interval = SimDuration::from_millis(200);
-        let mut e = Engine::new(cfg, Box::new(FcfsScheduler::new()));
-        for _ in 0..128 {
-            e.submit(spec(0, 512, 256, 20.0));
-        }
-        assert!(e.run_to_completion());
-        let out = e.into_outcome();
-        assert_eq!(out.report.completed, 128);
-        // Later requests queue: P99 TTFT spreads well past P50 and far
-        // beyond the 1.3 s engagement tolerance (Figure 2's pathology).
-        assert!(
-            out.report.ttft.p99 > 1.8 * out.report.ttft.p50,
-            "p99 {} vs p50 {}",
-            out.report.ttft.p99,
-            out.report.ttft.p50
-        );
-        assert!(out.report.ttft.p99 > 1.3, "p99 {}", out.report.ttft.p99);
-        assert!(out.queued_series.max().unwrap_or(0.0) > 0.0);
-    }
-
-    #[test]
-    fn all_schedulers_complete_same_workload() {
-        let mk: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(FcfsScheduler::new()),
-            Box::new(ChunkedPrefillScheduler::new()),
-            Box::new(AndesScheduler::new()),
-            Box::new(TokenFlowScheduler::new()),
-        ];
-        for sched in mk {
-            let name = sched.name();
-            let mut e = Engine::new(config().with_max_batch(8), sched);
-            for i in 0..12 {
-                e.submit(spec(i * 50, 128, 64, 25.0));
-            }
-            assert!(e.run_to_completion(), "{name} did not finish");
-            let out = e.into_outcome();
-            assert_eq!(out.report.completed, 12, "{name} completed");
-            for r in &out.records {
-                assert_eq!(r.generated, 64, "{name} token count");
-            }
-        }
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let run = || {
-            let mut e = Engine::new(config().with_max_batch(8), Box::new(TokenFlowScheduler::new()));
-            for i in 0..10 {
-                e.submit(spec(i * 100, 256, 128, 20.0));
-            }
-            e.run_to_completion();
-            e.into_outcome()
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.report, b.report);
-        assert_eq!(a.records, b.records);
-        assert_eq!(a.iterations, b.iterations);
-    }
-
-    #[test]
-    fn timeline_recording_works() {
-        let mut e = Engine::new(config().with_timelines(2), Box::new(FcfsScheduler::new()));
-        e.submit(spec(0, 64, 30, 20.0));
-        e.submit(spec(0, 64, 30, 20.0));
-        e.submit(spec(0, 64, 30, 20.0));
-        e.run_to_completion();
-        let out = e.into_outcome();
-        assert_eq!(out.timelines.len(), 2);
-        assert_eq!(out.timelines[0].points().len(), 30);
-    }
-
-    #[test]
-    fn effective_tokens_bounded_by_generated() {
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        e.submit(spec(0, 128, 200, 10.0));
-        e.run_to_completion();
-        let out = e.into_outcome();
-        let r = &out.records[0];
-        assert!(r.effective_tokens <= r.generated as f64 + 1e-9);
-        assert!(r.effective_tokens > 0.0);
-    }
-
-    #[test]
-    fn fast_generation_overfills_buffer_and_loses_effectiveness() {
-        // A slow reader against unpaced FCFS generation: most tokens land
-        // beyond the 20% buffer cutoff and count zero.
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        e.submit(spec(0, 128, 500, 5.0));
-        e.run_to_completion();
-        let out = e.into_outcome();
-        let r = &out.records[0];
-        assert!(
-            r.effective_tokens < 0.5 * r.generated as f64,
-            "effective {} of {}",
-            r.effective_tokens,
-            r.generated
-        );
-    }
-
-    #[test]
-    fn memory_pressure_causes_queueing_under_fcfs() {
-        // Capacity ≈6.6k tokens; 8 requests × 1024 conservative tokens do
-        // not all fit: SGLang-style admission serialises the excess into a
-        // second wave (visible as a TTFT spread), never preempting.
-        let mut cfg = config();
-        cfg.mem_frac = 0.126; // ≈ 19 GiB: 16 weights + 2 reserve + ~0.9 KV (≈6.6k tokens)
-        let mut e = Engine::new(cfg, Box::new(FcfsScheduler::new()));
-        for _ in 0..8 {
-            e.submit(spec(0, 512, 512, 20.0));
-        }
-        assert!(e.run_to_completion());
-        let out = e.into_outcome();
-        assert_eq!(out.report.completed, 8);
-        assert_eq!(out.report.preemptions, 0, "conservative FCFS never preempts");
-        assert!(
-            out.report.ttft.max > 5.0 * out.report.ttft.p50,
-            "second admission wave must wait: {:?}",
-            out.report.ttft
-        );
-    }
-
-    #[test]
-    fn tokenflow_survives_memory_pressure_via_offload() {
-        let mut cfg = config();
-        cfg.mem_frac = 0.126;
-        let mut e = Engine::new(cfg, Box::new(TokenFlowScheduler::new()));
-        for _ in 0..8 {
-            e.submit(spec(0, 512, 512, 20.0));
-        }
-        assert!(e.run_to_completion());
-        let out = e.into_outcome();
-        assert_eq!(out.report.completed, 8);
-    }
-
-    #[test]
-    #[should_panic(expected = "output length must be positive")]
-    fn zero_output_rejected() {
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        e.submit(spec(0, 10, 0, 10.0));
-    }
-
-    #[test]
-    #[should_panic(expected = "does not fit")]
-    fn oversized_model_rejected() {
-        let cfg = EngineConfig::new(ModelProfile::qwen2_5_32b(), HardwareProfile::rtx4090());
-        let _ = Engine::new(cfg, Box::new(FcfsScheduler::new()));
-    }
-
-    #[test]
-    fn run_report_duration_spans_run() {
-        let mut e = Engine::new(config(), Box::new(FcfsScheduler::new()));
-        e.submit(spec(0, 64, 100, 20.0));
-        e.run_to_completion();
-        let out = e.into_outcome();
-        assert!(out.sim_time > SimDuration::ZERO);
-        assert_eq!(out.sim_time, out.report.duration);
-        assert!(out.complete);
     }
 }

@@ -1,0 +1,60 @@
+//! Pipeline stage 2 — KV orchestration: applying finished transfers and
+//! pumping write-through sync against the [`KvManager`].
+//!
+//! The memory hierarchy runs "in the background" of compute: evictions and
+//! loads progress while iterations execute, and their completions flip
+//! request phases at the next stage boundary. This module is the only
+//! place those completions are translated into pipeline phase changes.
+
+use tokenflow_kv::{KvEvent, KvManager};
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+use crate::state::{EngineState, Phase};
+
+/// Advances the transfer engine to `to` and applies every completion to
+/// the request table: finished evictions park requests on the CPU,
+/// finished loads rejoin the decode batch.
+pub(crate) fn apply_transfers(st: &mut EngineState, kv: &mut KvManager, to: SimTime) {
+    let events = kv.advance_to(to);
+    for event in events {
+        match event {
+            KvEvent::EvictDone { req, .. } => {
+                let s = st.state_mut(req);
+                if s.phase == Phase::Evicting {
+                    s.phase = Phase::OnCpu;
+                }
+            }
+            KvEvent::LoadDone { req, .. } => {
+                let s = st.state_mut(req);
+                if s.phase == Phase::Loading {
+                    s.phase = Phase::Running;
+                    st.push_running(req);
+                }
+            }
+        }
+    }
+}
+
+/// Synchronous chunked writing (§5.2): pumps a compute-window's worth of
+/// background sync, with flush priorities tracking each decode member's
+/// buffer occupancy (fuller buffers flush first — their owners are the
+/// likeliest preemption victims).
+pub(crate) fn pump_write_through(
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    decode: &[RequestId],
+    now: SimTime,
+    window: SimDuration,
+) {
+    for &id in decode {
+        let buffered = st.state_mut(id).buffer.buffered(now);
+        kv.set_write_priority(id, buffered as f64);
+    }
+    kv.pump_writes(now, window);
+}
+
+/// The next instant background I/O completes, if any — the KV wake-up
+/// input to the engine's idle fast-forward.
+pub(crate) fn next_transfer_completion(kv: &KvManager) -> Option<SimTime> {
+    kv.next_io_completion()
+}

@@ -1,0 +1,162 @@
+//! Shared request state threaded through the pipeline stages.
+//!
+//! Every stage of the serving pipeline ([`admission`](crate::admission),
+//! [`kv_orchestrator`](crate::kv_orchestrator), [`batch`](crate::batch),
+//! [`delivery`](crate::delivery)) operates on `&mut` views of the state
+//! defined here rather than owning the world — that is what makes the
+//! stages separately testable and reusable (the cluster crate drives many
+//! engines whose stages all share this shape).
+
+use std::collections::VecDeque;
+
+use tokenflow_client::TokenBuffer;
+use tokenflow_metrics::{RequestMetrics, TokenTimeline};
+use tokenflow_sched::ReqPhase;
+use tokenflow_sim::{RequestId, SimTime};
+use tokenflow_workload::{ClientKind, RequestSpec};
+
+/// Engine-internal request lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Arrived; no KV anywhere; awaiting admission.
+    WaitingNew,
+    /// Admitted; prompt (or recompute context) being prefilled.
+    Prefilling,
+    /// In the decode batch.
+    Running,
+    /// Preempted; KV flushing to host.
+    Evicting,
+    /// Fully offloaded to host memory.
+    OnCpu,
+    /// KV loading back to the GPU.
+    Loading,
+    /// All output tokens generated.
+    Finished,
+}
+
+impl Phase {
+    /// The scheduler-facing phase, or `None` for finished requests.
+    pub(crate) fn sched_phase(self) -> Option<ReqPhase> {
+        match self {
+            Phase::WaitingNew => Some(ReqPhase::WaitingNew),
+            Phase::Prefilling | Phase::Evicting | Phase::Loading => Some(ReqPhase::Transitioning),
+            Phase::Running => Some(ReqPhase::Running),
+            Phase::OnCpu => Some(ReqPhase::WaitingCpu),
+            Phase::Finished => None,
+        }
+    }
+}
+
+/// Everything the pipeline tracks for one request.
+#[derive(Debug)]
+pub(crate) struct ReqState {
+    pub spec: RequestSpec,
+    pub kind: ClientKind,
+    pub buffer: TokenBuffer,
+    pub metrics: RequestMetrics,
+    pub phase: Phase,
+    pub generated: u64,
+    pub prefill_done: u64,
+    pub prefill_target: u64,
+    pub timeline: Option<TokenTimeline>,
+}
+
+impl ReqState {
+    /// Current context length (prompt + generated so far).
+    pub(crate) fn context_tokens(&self) -> u64 {
+        self.spec.prompt_tokens + self.generated
+    }
+
+    /// Output tokens still to generate.
+    pub(crate) fn remaining_tokens(&self) -> u64 {
+        self.spec.output_tokens - self.generated
+    }
+}
+
+/// The mutable request table plus the queues the stages rotate requests
+/// through.
+#[derive(Debug, Default)]
+pub(crate) struct EngineState {
+    /// All requests, indexed by dense `RequestId`.
+    pub requests: Vec<ReqState>,
+    /// Members of the decode batch, kept sorted by id.
+    pub running: Vec<RequestId>,
+    /// Admitted requests whose prefill is in progress, FIFO.
+    pub prefill_queue: VecDeque<RequestId>,
+    /// Requests that have generated all their tokens.
+    pub finished_count: usize,
+    /// Requests whose arrival time has passed.
+    pub live_count: usize,
+    /// Arrived requests currently in [`Phase::WaitingNew`], maintained
+    /// incrementally by the admission and delivery stages so
+    /// load snapshots stay O(1).
+    pub waiting_count: usize,
+    /// Sum of required streaming rates over unfinished requests
+    /// (tokens/second), maintained incrementally: added at submission,
+    /// removed at completion.
+    pub active_rate_sum: f64,
+}
+
+impl EngineState {
+    pub(crate) fn new() -> Self {
+        EngineState::default()
+    }
+
+    pub(crate) fn state(&self, id: RequestId) -> &ReqState {
+        &self.requests[id.0 as usize]
+    }
+
+    pub(crate) fn state_mut(&mut self, id: RequestId) -> &mut ReqState {
+        &mut self.requests[id.0 as usize]
+    }
+
+    /// Adds a request to the decode batch, preserving the sorted order the
+    /// batch-composition stage relies on for determinism.
+    pub(crate) fn push_running(&mut self, id: RequestId) {
+        self.running.push(id);
+        self.running.sort_unstable();
+    }
+
+    /// Removes a request from the decode batch (no-op when absent).
+    pub(crate) fn remove_running(&mut self, id: RequestId) {
+        self.running.retain(|&r| r != id);
+    }
+
+    /// True when every submitted request has finished.
+    pub(crate) fn all_finished(&self) -> bool {
+        self.finished_count == self.requests.len()
+    }
+}
+
+/// A point-in-time load summary of one engine, for cluster routers.
+///
+/// Routers see only this snapshot — never engine internals — so routing
+/// policies stay decoupled from the pipeline and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineLoad {
+    /// The replica's current simulation time.
+    pub now: SimTime,
+    /// Requests submitted so far.
+    pub submitted: usize,
+    /// Requests that have not finished yet (including not-yet-arrived).
+    pub live: usize,
+    /// Arrived requests waiting for admission with no KV anywhere.
+    pub waiting: usize,
+    /// Requests in the decode batch.
+    pub running: usize,
+    /// Requests mid-KV-transfer (evicting to host or loading back), from
+    /// the KV manager's queue-depth accessors.
+    pub transitioning: usize,
+    /// Sum of required streaming rates over unfinished requests,
+    /// tokens/second — the demand side of the `Σ rᵢ ≤ Γ` schedulability
+    /// test.
+    pub rate_sum: f64,
+    /// Free GPU KV capacity in tokens.
+    pub gpu_free_tokens: u64,
+    /// Total GPU KV capacity in tokens.
+    pub gpu_total_tokens: u64,
+    /// Device-to-host transfer queue depth.
+    pub d2h_queue_len: usize,
+    /// Host-to-device transfer queue depth.
+    pub h2d_queue_len: usize,
+}

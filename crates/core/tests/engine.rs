@@ -1,0 +1,255 @@
+//! Engine behavior tests, exercised through the public API.
+//!
+//! These ran inside `engine.rs` when the engine was a monolith; the staged
+//! pipeline refactor moved them here unchanged (modulo the now-generic
+//! scheduler parameter), so they double as the refactor's behavioral
+//! oracle: the staged pipeline must keep every one of them green.
+
+use tokenflow_core::{Engine, EngineConfig};
+use tokenflow_model::{HardwareProfile, ModelProfile};
+use tokenflow_sched::{
+    AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowScheduler,
+};
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_workload::RequestSpec;
+
+fn config() -> EngineConfig {
+    EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
+}
+
+fn spec(arrival_ms: u64, prompt: u64, output: u64, rate: f64) -> RequestSpec {
+    RequestSpec {
+        id: RequestId(0),
+        arrival: SimTime::from_millis(arrival_ms),
+        prompt_tokens: prompt,
+        output_tokens: output,
+        rate,
+    }
+}
+
+#[test]
+fn single_request_completes() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(0, 128, 50, 20.0));
+    assert!(e.run_to_completion());
+    let out = e.into_outcome();
+    assert_eq!(out.report.completed, 1);
+    assert_eq!(out.records[0].generated, 50);
+    assert!(out.records[0].ttft().unwrap() > SimDuration::ZERO);
+}
+
+#[test]
+fn ttft_includes_queueing_and_prefill() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(1_000, 512, 10, 20.0));
+    e.run_to_completion();
+    let out = e.into_outcome();
+    let first = out.records[0].first_token_at.unwrap();
+    // Arrival at 1 s plus a prefill pass.
+    assert!(first > SimTime::from_secs(1));
+    assert!(first < SimTime::from_secs(2));
+}
+
+#[test]
+fn tokens_delivered_in_order_with_step_api() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    let id = e.submit(spec(0, 64, 20, 50.0));
+    let mut seen = Vec::new();
+    for _ in 0..10_000 {
+        let out = e.step();
+        for &(rid, n) in &out.delivered {
+            assert_eq!(rid, id);
+            seen.push(n);
+        }
+        if out.done {
+            break;
+        }
+    }
+    assert_eq!(seen, (1..=20).collect::<Vec<u64>>());
+}
+
+#[test]
+fn burst_creates_queueing_under_fcfs() {
+    let mut cfg = config().with_mem_frac(0.3).with_max_batch(16);
+    cfg.sample_interval = SimDuration::from_millis(200);
+    let mut e = Engine::new(cfg, FcfsScheduler::new());
+    for _ in 0..128 {
+        e.submit(spec(0, 512, 256, 20.0));
+    }
+    assert!(e.run_to_completion());
+    let out = e.into_outcome();
+    assert_eq!(out.report.completed, 128);
+    // Later requests queue: P99 TTFT spreads well past P50 and far
+    // beyond the 1.3 s engagement tolerance (Figure 2's pathology).
+    assert!(
+        out.report.ttft.p99 > 1.8 * out.report.ttft.p50,
+        "p99 {} vs p50 {}",
+        out.report.ttft.p99,
+        out.report.ttft.p50
+    );
+    assert!(out.report.ttft.p99 > 1.3, "p99 {}", out.report.ttft.p99);
+    assert!(out.queued_series.max().unwrap_or(0.0) > 0.0);
+}
+
+#[test]
+fn all_schedulers_complete_same_workload() {
+    let mk: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(FcfsScheduler::new()),
+        Box::new(ChunkedPrefillScheduler::new()),
+        Box::new(AndesScheduler::new()),
+        Box::new(TokenFlowScheduler::new()),
+    ];
+    for sched in mk {
+        let name = sched.name();
+        let mut e = Engine::new(config().with_max_batch(8), sched);
+        for i in 0..12 {
+            e.submit(spec(i * 50, 128, 64, 25.0));
+        }
+        assert!(e.run_to_completion(), "{name} did not finish");
+        let out = e.into_outcome();
+        assert_eq!(out.report.completed, 12, "{name} completed");
+        for r in &out.records {
+            assert_eq!(r.generated, 64, "{name} token count");
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut e = Engine::new(config().with_max_batch(8), TokenFlowScheduler::new());
+        for i in 0..10 {
+            e.submit(spec(i * 100, 256, 128, 20.0));
+        }
+        e.run_to_completion();
+        e.into_outcome()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn timeline_recording_works() {
+    let mut e = Engine::new(config().with_timelines(2), FcfsScheduler::new());
+    e.submit(spec(0, 64, 30, 20.0));
+    e.submit(spec(0, 64, 30, 20.0));
+    e.submit(spec(0, 64, 30, 20.0));
+    e.run_to_completion();
+    let out = e.into_outcome();
+    assert_eq!(out.timelines.len(), 2);
+    assert_eq!(out.timelines[0].points().len(), 30);
+}
+
+#[test]
+fn effective_tokens_bounded_by_generated() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(0, 128, 200, 10.0));
+    e.run_to_completion();
+    let out = e.into_outcome();
+    let r = &out.records[0];
+    assert!(r.effective_tokens <= r.generated as f64 + 1e-9);
+    assert!(r.effective_tokens > 0.0);
+}
+
+#[test]
+fn fast_generation_overfills_buffer_and_loses_effectiveness() {
+    // A slow reader against unpaced FCFS generation: most tokens land
+    // beyond the 20% buffer cutoff and count zero.
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(0, 128, 500, 5.0));
+    e.run_to_completion();
+    let out = e.into_outcome();
+    let r = &out.records[0];
+    assert!(
+        r.effective_tokens < 0.5 * r.generated as f64,
+        "effective {} of {}",
+        r.effective_tokens,
+        r.generated
+    );
+}
+
+#[test]
+fn memory_pressure_causes_queueing_under_fcfs() {
+    // Capacity ≈6.6k tokens; 8 requests × 1024 conservative tokens do
+    // not all fit: SGLang-style admission serialises the excess into a
+    // second wave (visible as a TTFT spread), never preempting.
+    let mut cfg = config();
+    cfg.mem_frac = 0.126; // ≈ 19 GiB: 16 weights + 2 reserve + ~0.9 KV (≈6.6k tokens)
+    let mut e = Engine::new(cfg, FcfsScheduler::new());
+    for _ in 0..8 {
+        e.submit(spec(0, 512, 512, 20.0));
+    }
+    assert!(e.run_to_completion());
+    let out = e.into_outcome();
+    assert_eq!(out.report.completed, 8);
+    assert_eq!(
+        out.report.preemptions, 0,
+        "conservative FCFS never preempts"
+    );
+    assert!(
+        out.report.ttft.max > 5.0 * out.report.ttft.p50,
+        "second admission wave must wait: {:?}",
+        out.report.ttft
+    );
+}
+
+#[test]
+fn tokenflow_survives_memory_pressure_via_offload() {
+    let mut cfg = config();
+    cfg.mem_frac = 0.126;
+    let mut e = Engine::new(cfg, TokenFlowScheduler::new());
+    for _ in 0..8 {
+        e.submit(spec(0, 512, 512, 20.0));
+    }
+    assert!(e.run_to_completion());
+    let out = e.into_outcome();
+    assert_eq!(out.report.completed, 8);
+}
+
+#[test]
+#[should_panic(expected = "output length must be positive")]
+fn zero_output_rejected() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(0, 10, 0, 10.0));
+}
+
+#[test]
+#[should_panic(expected = "does not fit")]
+fn oversized_model_rejected() {
+    let cfg = EngineConfig::new(ModelProfile::qwen2_5_32b(), HardwareProfile::rtx4090());
+    let _ = Engine::new(cfg, FcfsScheduler::new());
+}
+
+#[test]
+fn run_report_duration_spans_run() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(0, 64, 100, 20.0));
+    e.run_to_completion();
+    let out = e.into_outcome();
+    assert!(out.sim_time > SimDuration::ZERO);
+    assert_eq!(out.sim_time, out.report.duration);
+    assert!(out.complete);
+}
+
+#[test]
+fn load_snapshot_tracks_lifecycle() {
+    let mut e = Engine::new(config().with_max_batch(4), FcfsScheduler::new());
+    let fresh = e.load_snapshot();
+    assert_eq!((fresh.submitted, fresh.live, fresh.running), (0, 0, 0));
+    for _ in 0..6 {
+        e.submit(spec(0, 128, 40, 20.0));
+    }
+    let queued = e.load_snapshot();
+    assert_eq!(queued.submitted, 6);
+    assert_eq!(queued.live, 6);
+    assert!(queued.rate_sum > 119.0 && queued.rate_sum < 121.0);
+    assert!(e.run_to_completion());
+    let drained = e.load_snapshot();
+    assert_eq!(drained.live, 0);
+    assert_eq!(drained.running, 0);
+    assert_eq!(drained.waiting, 0);
+    assert_eq!(drained.rate_sum, 0.0);
+}

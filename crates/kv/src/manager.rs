@@ -341,6 +341,17 @@ impl KvManager {
         self.pcie.next_completion()
     }
 
+    /// Requests currently mid-eviction (KV flushing to host).
+    pub fn evicting_requests(&self) -> usize {
+        self.evicting_count
+    }
+
+    /// Requests currently mid-load (KV returning to the GPU), including
+    /// loads waiting for GPU space to enqueue their first chunk.
+    pub fn loading_requests(&self) -> usize {
+        self.loading_order.len()
+    }
+
     /// Updates the background-flush priority for `req` (call with the
     /// request's current buffer occupancy; larger buffers flush first).
     pub fn set_write_priority(&mut self, req: RequestId, priority: f64) {
@@ -379,7 +390,12 @@ impl KvManager {
 
     /// Registers freshly prefilled KV for `req` (`tokens` context tokens all
     /// GPU-resident). Also the recompute path after a discard.
-    pub fn on_prefill(&mut self, req: RequestId, tokens: u64, _now: SimTime) -> Result<(), KvError> {
+    pub fn on_prefill(
+        &mut self,
+        req: RequestId,
+        tokens: u64,
+        _now: SimTime,
+    ) -> Result<(), KvError> {
         let state = self.states.entry(req).or_default();
         if state.residency() != Residency::None {
             return Err(KvError::BadState("prefill requires no existing KV"));
@@ -427,8 +443,7 @@ impl KvManager {
         if s.residency() != Residency::Gpu {
             return Err(KvError::BadState("evict requires GPU residency"));
         }
-        let (total, synced, wt_inflight, cpu_hold) =
-            (s.total, s.synced, s.wt_inflight, s.cpu_hold);
+        let (total, synced, wt_inflight, cpu_hold) = (s.total, s.synced, s.wt_inflight, s.cpu_hold);
         let dirty = total - synced - wt_inflight;
 
         // Reserve host space for the dirty flush up front; fail cleanly if
@@ -536,7 +551,9 @@ impl KvManager {
         if budget_tokens == 0 {
             return;
         }
-        let chunks = self.write_queue.pull(budget_tokens, self.config.chunk_tokens);
+        let chunks = self
+            .write_queue
+            .pull(budget_tokens, self.config.chunk_tokens);
         for chunk in chunks {
             let Some(s) = self.states.get(&chunk.req) else {
                 continue;

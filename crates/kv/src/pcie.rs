@@ -283,12 +283,9 @@ mod tests {
 
     #[test]
     fn transfer_time_is_latency_plus_bytes_over_bw() {
-        let p = PcieEngine::new(1e9, 10); // 1 GB/s, 10 us
-        // 1 MB at 1 GB/s = 1 ms, plus 10 us.
-        assert_eq!(
-            p.transfer_time(1_000_000),
-            SimDuration::from_micros(1_010)
-        );
+        // 1 GB/s with 10 us setup: 1 MB transfers in 1 ms, plus 10 us.
+        let p = PcieEngine::new(1e9, 10);
+        assert_eq!(p.transfer_time(1_000_000), SimDuration::from_micros(1_010));
     }
 
     #[test]

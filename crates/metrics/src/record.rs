@@ -56,7 +56,8 @@ impl RequestMetrics {
 
     /// Time-to-first-token, if the first token was produced.
     pub fn ttft(&self) -> Option<SimDuration> {
-        self.first_token_at.map(|t| t.saturating_since(self.arrival))
+        self.first_token_at
+            .map(|t| t.saturating_since(self.arrival))
     }
 
     /// Whether the request ran to completion.

@@ -24,6 +24,38 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// Count-weighted merge of summaries over disjoint sample sets.
+    ///
+    /// Counts, means, and maxima merge exactly. Percentiles cannot be
+    /// recovered from summaries alone, so they are count-weighted averages
+    /// — a documented approximation for dashboards over pre-aggregated
+    /// data. When the underlying samples are available, recompute with
+    /// [`Summary::of`] instead (the cluster crate's merged reports do).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a Summary>) -> Summary {
+        let mut total = Summary::default();
+        for s in parts {
+            if s.count == 0 {
+                continue;
+            }
+            let n0 = total.count as f64;
+            let n1 = s.count as f64;
+            let n = n0 + n1;
+            total.mean = (total.mean * n0 + s.mean * n1) / n;
+            total.p50 = (total.p50 * n0 + s.p50 * n1) / n;
+            total.p90 = (total.p90 * n0 + s.p90 * n1) / n;
+            total.p99 = (total.p99 * n0 + s.p99 * n1) / n;
+            // Seed the maximum from the first non-empty part so all-negative
+            // sample sets merge exactly too.
+            total.max = if total.count == 0 {
+                s.max
+            } else {
+                total.max.max(s.max)
+            };
+            total.count += s.count;
+        }
+        total
+    }
+
     /// Summarises a sample set. Returns the zero summary for empty input.
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
@@ -131,6 +163,59 @@ impl RunReport {
             },
         }
     }
+
+    /// Merges reports from replicas that ran concurrently on one simulated
+    /// timeline (a cluster run): counts and totals sum, the duration is the
+    /// longest replica's, and rate metrics are recovered from each
+    /// replica's `rate × duration` token totals before re-normalising by
+    /// the merged duration.
+    ///
+    /// TTFT percentiles are count-weighted approximations (see
+    /// [`Summary::merged`]), and `mean_generation_rate` is weighted by
+    /// completed counts even though each replica normalises it over only
+    /// its rate-measurable requests — both are summary-level
+    /// approximations. When per-request records are available, prefer
+    /// [`RunReport::from_records`] over the concatenated records — that
+    /// is what `tokenflow-cluster` reports as the exact merge.
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> RunReport {
+        let reports: Vec<&RunReport> = reports.into_iter().collect();
+        let duration = reports
+            .iter()
+            .map(|r| r.duration)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let dur_secs = duration.as_secs_f64().max(1e-9);
+        let recover = |f: fn(&RunReport) -> f64| -> f64 {
+            reports
+                .iter()
+                .map(|r| f(r) * r.duration.as_secs_f64())
+                .sum::<f64>()
+                / dur_secs
+        };
+        let completed: usize = reports.iter().map(|r| r.completed).sum();
+        let rate_weight: f64 = reports
+            .iter()
+            .map(|r| r.mean_generation_rate * r.completed as f64)
+            .sum();
+        RunReport {
+            submitted: reports.iter().map(|r| r.submitted).sum(),
+            completed,
+            duration,
+            ttft: Summary::merged(reports.iter().map(|r| &r.ttft)),
+            throughput: recover(|r| r.throughput),
+            effective_throughput: recover(|r| r.effective_throughput),
+            qos: recover(|r| r.qos),
+            total_rebuffer_secs: reports.iter().map(|r| r.total_rebuffer_secs).sum(),
+            stall_events: reports.iter().map(|r| r.stall_events).sum(),
+            preemptions: reports.iter().map(|r| r.preemptions).sum(),
+            recomputes: reports.iter().map(|r| r.recomputes).sum(),
+            mean_generation_rate: if completed == 0 {
+                0.0
+            } else {
+                rate_weight / completed as f64
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,11 +274,8 @@ mod tests {
     #[test]
     fn report_aggregates_throughputs() {
         let records = vec![record(0, 500, 600, 500.0), record(1, 1_500, 400, 300.0)];
-        let r = RunReport::from_records(
-            &records,
-            SimDuration::from_secs(10),
-            &QosParams::default(),
-        );
+        let r =
+            RunReport::from_records(&records, SimDuration::from_secs(10), &QosParams::default());
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 2);
         assert_eq!(r.throughput, 100.0);
@@ -215,14 +297,62 @@ mod tests {
     }
 
     #[test]
+    fn summary_merge_is_count_weighted() {
+        let a = Summary::of(&[1.0, 2.0, 3.0]);
+        let b = Summary::of(&[10.0]);
+        let m = Summary::merged([&a, &b]);
+        assert_eq!(m.count, 4);
+        assert!((m.mean - (1.0 + 2.0 + 3.0 + 10.0) / 4.0).abs() < 1e-9);
+        assert_eq!(m.max, 10.0);
+        let empty = Summary::merged([&Summary::default(), &a]);
+        assert_eq!(empty.count, a.count);
+        assert_eq!(empty.mean, a.mean);
+    }
+
+    #[test]
+    fn report_merge_sums_counts_and_recovers_rates() {
+        let qos = QosParams::default();
+        let d = SimDuration::from_secs(10);
+        let a = RunReport::from_records(
+            &[record(0, 500, 600, 500.0), record(1, 1_500, 400, 300.0)],
+            d,
+            &qos,
+        );
+        let b = RunReport::from_records(
+            &[record(0, 700, 1_000, 900.0)],
+            SimDuration::from_secs(20),
+            &qos,
+        );
+        let m = RunReport::merged([&a, &b]);
+        assert_eq!(m.submitted, a.submitted + b.submitted);
+        assert_eq!(m.completed, a.completed + b.completed);
+        assert_eq!(m.duration, SimDuration::from_secs(20));
+        // Total tokens (1000 + 1000) over the merged 20 s timeline.
+        assert!((m.throughput - 100.0).abs() < 1e-9, "{}", m.throughput);
+        assert_eq!(m.ttft.count, 3);
+        assert_eq!(m.stall_events, a.stall_events + b.stall_events);
+        // Merging matches recomputing from the concatenated records on
+        // every count/total (percentiles are approximate by contract).
+        let exact = RunReport::from_records(
+            &[
+                record(0, 500, 600, 500.0),
+                record(1, 1_500, 400, 300.0),
+                record(2, 700, 1_000, 900.0),
+            ],
+            SimDuration::from_secs(20),
+            &qos,
+        );
+        assert_eq!(m.submitted, exact.submitted);
+        assert_eq!(m.completed, exact.completed);
+        assert!((m.throughput - exact.throughput).abs() < 1e-9);
+        assert!((m.effective_throughput - exact.effective_throughput).abs() < 1e-9);
+    }
+
+    #[test]
     fn report_handles_unstarted_requests() {
         let mut never = RequestMetrics::new(RequestId(0), SimTime::ZERO, 20.0, 100);
         never.generated = 0;
-        let r = RunReport::from_records(
-            &[never],
-            SimDuration::from_secs(1),
-            &QosParams::default(),
-        );
+        let r = RunReport::from_records(&[never], SimDuration::from_secs(1), &QosParams::default());
         assert_eq!(r.completed, 0);
         assert_eq!(r.ttft.count, 0);
         assert_eq!(r.throughput, 0.0);

@@ -28,7 +28,9 @@ impl TokenTimeline {
     /// Records that the request's cumulative count reached `tokens` at `t`.
     pub fn record(&mut self, t: SimTime, tokens: u64) {
         debug_assert!(
-            self.points.last().is_none_or(|&(pt, pc)| t >= pt && tokens >= pc),
+            self.points
+                .last()
+                .is_none_or(|&(pt, pc)| t >= pt && tokens >= pc),
             "timeline must be monotone"
         );
         self.points.push((t, tokens));

@@ -311,7 +311,10 @@ mod tests {
         let t = c.decode_time(256, 256 * 2000).as_secs_f64();
         let per_request = 1.0 / t;
         assert!(per_request < c.peak_decode_rate() / 2.0);
-        assert!(per_request > 12.0, "still above reading speed: {per_request}");
+        assert!(
+            per_request > 12.0,
+            "still above reading speed: {per_request}"
+        );
     }
 
     #[test]

@@ -129,9 +129,7 @@ impl ModelProfile {
     /// previous tokens (QKᵀ plus AV across all layers).
     pub fn attn_flops(&self, context: u64) -> f64 {
         // 2 matmuls × 2 FLOPs per MAC × (kv_heads × head_dim) per layer.
-        4.0 * self.layers as f64
-            * context as f64
-            * (self.heads as f64 * self.head_dim as f64)
+        4.0 * self.layers as f64 * context as f64 * (self.heads as f64 * self.head_dim as f64)
     }
 }
 

@@ -116,8 +116,8 @@ impl Scheduler for AndesScheduler {
         let budget_total =
             ((ctx.gpu_total_tokens as f64 * self.util_target) as u64).saturating_sub(committed);
         let mut used = 0u64;
-        let mut slots = (ctx.max_batch as usize)
-            .saturating_sub(ctx.count_phase(ReqPhase::Transitioning));
+        let mut slots =
+            (ctx.max_batch as usize).saturating_sub(ctx.count_phase(ReqPhase::Transitioning));
         let mut selected: Vec<RequestId> = Vec::new();
         for r in &candidates {
             if slots == 0 {
@@ -149,15 +149,12 @@ impl Scheduler for AndesScheduler {
             // Make room by dropping the least-urgent selected non-running
             // entries.
             for victim in keep_anyway {
-                if let Some(pos) = selected
-                    .iter()
-                    .rposition(|id| {
-                        ctx.requests
-                            .iter()
-                            .find(|r| r.id == *id)
-                            .is_some_and(|r| r.phase != ReqPhase::Running)
-                    })
-                {
+                if let Some(pos) = selected.iter().rposition(|id| {
+                    ctx.requests
+                        .iter()
+                        .find(|r| r.id == *id)
+                        .is_some_and(|r| r.phase != ReqPhase::Running)
+                }) {
                     selected.remove(pos);
                 }
                 selected.push(victim);

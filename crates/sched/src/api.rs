@@ -209,6 +209,130 @@ pub trait Scheduler {
     }
 }
 
+/// Boxed schedulers are schedulers: every trait method forwards, so
+/// dynamic dispatch composes with APIs that take `impl Scheduler`.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn plan(&mut self, ctx: &SchedContext) -> SchedPlan {
+        (**self).plan(ctx)
+    }
+
+    fn prefill_policy(&self) -> PrefillPolicy {
+        (**self).prefill_policy()
+    }
+
+    fn decode_gate(&self, view: &ReqView, ctx: &SchedContext) -> bool {
+        (**self).decode_gate(view, ctx)
+    }
+
+    fn emergency_preempt_mode(&self) -> PreemptMode {
+        (**self).emergency_preempt_mode()
+    }
+
+    fn emergency_victim(&self, ctx: &SchedContext) -> Option<RequestId> {
+        (**self).emergency_victim(ctx)
+    }
+}
+
+/// Incremental constructor for [`SchedContext`].
+///
+/// The engine's admission stage assembles contexts field group by field
+/// group (request views, memory state, I/O state, profiled rates); the
+/// builder keeps that assembly explicit and gives tests a way to construct
+/// contexts without spelling out every field. Unset groups default to a
+/// neutral idle system: no requests, no memory, empty I/O queues, zero
+/// profiled rates, `max_batch` 1.
+#[derive(Debug, Clone)]
+pub struct SchedContextBuilder {
+    ctx: SchedContext,
+}
+
+impl SchedContextBuilder {
+    /// Starts a context at `now` with neutral defaults.
+    pub fn new(now: SimTime) -> Self {
+        SchedContextBuilder {
+            ctx: SchedContext {
+                now,
+                requests: Vec::new(),
+                gpu_free_tokens: 0,
+                gpu_total_tokens: 0,
+                d2h_queue_len: 0,
+                h2d_queue_len: 0,
+                d2h_eta: SimDuration::ZERO,
+                h2d_eta: SimDuration::ZERO,
+                prefill_secs_per_token: 0.0,
+                decode_throughput: 0.0,
+                pcie_bandwidth: 1.0,
+                kv_bytes_per_token: 0,
+                max_batch: 1,
+            },
+        }
+    }
+
+    /// Sets the live request views (arrival order).
+    pub fn requests(mut self, views: Vec<ReqView>) -> Self {
+        self.ctx.requests = views;
+        self
+    }
+
+    /// Adds one request view.
+    pub fn push_request(mut self, view: ReqView) -> Self {
+        self.ctx.requests.push(view);
+        self
+    }
+
+    /// Sets GPU KV capacity (free and total, in tokens).
+    pub fn memory(mut self, free_tokens: u64, total_tokens: u64) -> Self {
+        self.ctx.gpu_free_tokens = free_tokens;
+        self.ctx.gpu_total_tokens = total_tokens;
+        self
+    }
+
+    /// Sets host-link queue depths and drain ETAs.
+    pub fn io_state(
+        mut self,
+        d2h_queue_len: usize,
+        h2d_queue_len: usize,
+        d2h_eta: SimDuration,
+        h2d_eta: SimDuration,
+    ) -> Self {
+        self.ctx.d2h_queue_len = d2h_queue_len;
+        self.ctx.h2d_queue_len = h2d_queue_len;
+        self.ctx.d2h_eta = d2h_eta;
+        self.ctx.h2d_eta = h2d_eta;
+        self
+    }
+
+    /// Sets the profiled rates: prefill cost per token and the decode
+    /// capacity estimate Γ.
+    pub fn profile(mut self, prefill_secs_per_token: f64, decode_throughput: f64) -> Self {
+        self.ctx.prefill_secs_per_token = prefill_secs_per_token;
+        self.ctx.decode_throughput = decode_throughput;
+        self
+    }
+
+    /// Sets the host-link bandwidth and KV footprint per token.
+    pub fn link(mut self, pcie_bandwidth: f64, kv_bytes_per_token: u64) -> Self {
+        self.ctx.pcie_bandwidth = pcie_bandwidth;
+        self.ctx.kv_bytes_per_token = kv_bytes_per_token;
+        self
+    }
+
+    /// Sets the hard cap on concurrently running requests.
+    pub fn max_batch(mut self, max_batch: u32) -> Self {
+        self.ctx.max_batch = max_batch;
+        self
+    }
+
+    /// Finishes the context.
+    pub fn build(self) -> SchedContext {
+        self.ctx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +418,64 @@ mod tests {
     #[test]
     fn empty_plan_is_empty() {
         assert!(SchedPlan::none().is_empty());
+    }
+
+    #[test]
+    fn builder_defaults_are_neutral() {
+        let c = SchedContextBuilder::new(SimTime::from_secs(3)).build();
+        assert_eq!(c.now, SimTime::from_secs(3));
+        assert!(c.requests.is_empty());
+        assert_eq!(c.gpu_free_tokens, 0);
+        assert_eq!(c.max_batch, 1);
+    }
+
+    #[test]
+    fn builder_sets_all_field_groups() {
+        let c = SchedContextBuilder::new(SimTime::ZERO)
+            .push_request(view(0, ReqPhase::Running))
+            .memory(1_000, 2_000)
+            .io_state(
+                3,
+                4,
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(6),
+            )
+            .profile(1e-4, 5_000.0)
+            .link(25e9, 131_072)
+            .max_batch(64)
+            .build();
+        assert_eq!(c.requests.len(), 1);
+        assert_eq!((c.gpu_free_tokens, c.gpu_total_tokens), (1_000, 2_000));
+        assert_eq!((c.d2h_queue_len, c.h2d_queue_len), (3, 4));
+        assert_eq!(c.d2h_eta, SimDuration::from_millis(5));
+        assert_eq!(c.decode_throughput, 5_000.0);
+        assert_eq!(c.kv_bytes_per_token, 131_072);
+        assert_eq!(c.max_batch, 64);
+    }
+
+    #[test]
+    fn boxed_scheduler_forwards_every_method() {
+        struct Custom;
+        impl Scheduler for Custom {
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+            fn plan(&mut self, _ctx: &SchedContext) -> SchedPlan {
+                SchedPlan::none()
+            }
+            fn prefill_policy(&self) -> PrefillPolicy {
+                PrefillPolicy::Chunked(77)
+            }
+            fn emergency_preempt_mode(&self) -> PreemptMode {
+                PreemptMode::Offload
+            }
+        }
+        let mut boxed: Box<dyn Scheduler> = Box::new(Custom);
+        let c = ctx(vec![view(2, ReqPhase::Running)]);
+        assert_eq!(boxed.name(), "custom");
+        assert!(boxed.plan(&c).is_empty());
+        assert_eq!(boxed.prefill_policy(), PrefillPolicy::Chunked(77));
+        assert_eq!(boxed.emergency_preempt_mode(), PreemptMode::Offload);
+        assert_eq!(boxed.emergency_victim(&c), Some(RequestId(2)));
     }
 }

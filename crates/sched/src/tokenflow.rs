@@ -30,7 +30,9 @@ use tokenflow_sim::{RequestId, SimDuration, SimTime};
 use crate::api::{
     Action, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan, Scheduler,
 };
-use crate::util::{admission_cost, fcfs_admissions, largest_buffer_running, token_value, AdmissionCosting};
+use crate::util::{
+    admission_cost, fcfs_admissions, largest_buffer_running, token_value, AdmissionCosting,
+};
 
 /// Tunable parameters of the TokenFlow policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,7 +160,10 @@ impl TokenFlowScheduler {
             w_static
         };
         (w.ceil() as usize)
-            .max(ctx.count_phase(ReqPhase::Running).min(ctx.max_batch as usize))
+            .max(
+                ctx.count_phase(ReqPhase::Running)
+                    .min(ctx.max_batch as usize),
+            )
             .min(ctx.max_batch as usize)
             .max(1)
     }
@@ -304,7 +309,9 @@ impl TokenFlowScheduler {
         // their reader immediately).
         let mut selected: Vec<usize> = Vec::new();
         let mut used = 0u64;
-        let mut slots = w_sched.saturating_sub(ctx.count_phase(ReqPhase::Transitioning)).max(1);
+        let mut slots = w_sched
+            .saturating_sub(ctx.count_phase(ReqPhase::Transitioning))
+            .max(1);
         for (i, c) in candidates.iter().enumerate() {
             if c.phase == ReqPhase::Running && !c.safe_to_preempt && slots > 0 {
                 selected.push(i);
@@ -345,8 +352,7 @@ impl TokenFlowScheduler {
                     .copied()
                     .filter(|&i| {
                         // Pinned running requests never swap out.
-                        candidates[i].phase != ReqPhase::Running
-                            || candidates[i].safe_to_preempt
+                        candidates[i].phase != ReqPhase::Running || candidates[i].safe_to_preempt
                     })
                     .min_by(|&a, &b| {
                         candidates[a]
@@ -645,6 +651,7 @@ mod tests {
         let waiting = with_context(view(1, ReqPhase::WaitingNew), 600);
         let c = ctx(vec![rich, waiting], 0, 1_300);
         let _ = s.plan(&c); // full pass at t = 100
+
         // 1 ms later: not due, only plain admissions may happen.
         let mut c2 = ctx(vec![rich, waiting], 0, 1_300);
         c2.now = SimTime::from_secs(100) + SimDuration::from_millis(1);

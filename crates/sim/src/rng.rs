@@ -1,14 +1,22 @@
 //! Deterministic random number generation for workloads and jitter.
 //!
-//! All randomness in the workspace flows through [`SimRng`], a thin wrapper
-//! around a seeded [`rand::rngs::StdRng`] that adds the handful of sampling
-//! helpers the workload generators need (exponential, lognormal via
-//! Box–Muller, truncated normal). Keeping the distribution code here avoids
-//! pulling in `rand_distr` and pins down the exact sampling algorithm so the
-//! traces regenerate identically on every run.
+//! All randomness in the workspace flows through [`SimRng`], a seeded
+//! xoshiro256++ generator (initialised via splitmix64, the reference
+//! seeding procedure) with the handful of sampling helpers the workload
+//! generators need (exponential, lognormal via Box–Muller, truncated
+//! normal). Implementing the generator inline — rather than depending on
+//! `rand`/`rand_distr` — pins down the exact bit stream *and* sampling
+//! algorithms, so traces regenerate identically on every platform, every
+//! toolchain, and every build of this workspace.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Expands a 64-bit seed into generator state (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded deterministic RNG with distribution helpers.
 ///
@@ -23,14 +31,20 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -39,18 +53,28 @@ impl SimRng {
     /// Use one child per component so adding draws in one component does not
     /// perturb the stream seen by another.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -63,7 +87,14 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.uniform() * (hi - lo);
+        // The product can round up to exactly `hi` (e.g. when `hi - lo`
+        // is a few ulps); clamp to keep the documented half-open interval.
+        if x < hi {
+            x
+        } else {
+            hi.next_down().max(lo)
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
@@ -73,7 +104,13 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Multiply-shift range reduction (Lemire); the modulo bias at these
+        // span sizes is far below anything the simulation could observe.
+        lo + ((self.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -126,7 +163,10 @@ impl SimRng {
     /// Panics if `mean` is not strictly positive or `std_dev` is negative.
     pub fn lognormal_mean_std(&mut self, mean: f64, std_dev: f64) -> f64 {
         assert!(mean > 0.0, "mean must be positive, got {mean}");
-        assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+        assert!(
+            std_dev >= 0.0,
+            "std_dev must be non-negative, got {std_dev}"
+        );
         if std_dev == 0.0 {
             return mean;
         }
@@ -212,7 +252,9 @@ mod tests {
     fn lognormal_mean_std_matches_target() {
         let mut rng = SimRng::seed_from(13);
         let n = 40_000;
-        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_mean_std(512.0, 256.0)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| rng.lognormal_mean_std(512.0, 256.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - 512.0).abs() / 512.0 < 0.05, "mean {mean}");
         assert!(samples.iter().all(|&x| x > 0.0));

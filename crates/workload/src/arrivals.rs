@@ -83,7 +83,10 @@ impl ArrivalSpec {
                 mean_burst,
                 duration,
             } => {
-                assert!(base_rate > 0.0 && burst_rate > 0.0, "rates must be positive");
+                assert!(
+                    base_rate > 0.0 && burst_rate > 0.0,
+                    "rates must be positive"
+                );
                 let mut out = Vec::new();
                 let horizon = duration.as_secs_f64();
                 let mut t = 0.0;
@@ -133,8 +136,8 @@ impl ArrivalSpec {
                     }
                     let phase = (t / p) * std::f64::consts::TAU;
                     // Raised cosine: trough at phase 0, peak mid-period.
-                    let intensity = trough_rate
-                        + (peak_rate - trough_rate) * (1.0 - phase.cos()) / 2.0;
+                    let intensity =
+                        trough_rate + (peak_rate - trough_rate) * (1.0 - phase.cos()) / 2.0;
                     if rng.chance(intensity / peak_rate) {
                         out.push(SimTime::from_secs_f64(t));
                     }
@@ -242,8 +245,7 @@ mod tests {
                 }
             }
             let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-            let var =
-                counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+            let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
             var / mean.max(1e-9)
         };
         let poisson = gen_with(ArrivalSpec::Poisson {

@@ -67,11 +67,21 @@ impl LengthDist {
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         match *self {
             LengthDist::Fixed(n) => n.max(1),
-            LengthDist::Normal { mean, std, min, max } => {
+            LengthDist::Normal {
+                mean,
+                std,
+                min,
+                max,
+            } => {
                 let x = rng.clamped_normal(mean, std, min.max(1) as f64, max as f64);
                 x.round() as u64
             }
-            LengthDist::LogNormal { mean, std, min, max } => {
+            LengthDist::LogNormal {
+                mean,
+                std,
+                min,
+                max,
+            } => {
                 let x = rng.lognormal_mean_std(mean, std);
                 (x.round() as u64).clamp(min.max(1), max)
             }

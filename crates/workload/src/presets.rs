@@ -222,7 +222,12 @@ pub fn burstgpt_trace_scaled(
     output_scale: u64,
 ) -> WorkloadGen {
     let output = match LengthDist::sharegpt_output() {
-        LengthDist::LogNormal { mean, std, min, max } => LengthDist::LogNormal {
+        LengthDist::LogNormal {
+            mean,
+            std,
+            min,
+            max,
+        } => LengthDist::LogNormal {
             mean: mean * output_scale as f64,
             std: std * output_scale as f64,
             min,
@@ -351,7 +356,11 @@ mod tests {
         let w = g.generate(4);
         let s = w.stats();
         assert!(s.count > 50);
-        assert!(s.peak_arrivals_per_sec >= 5, "peak {}", s.peak_arrivals_per_sec);
+        assert!(
+            s.peak_arrivals_per_sec >= 5,
+            "peak {}",
+            s.peak_arrivals_per_sec
+        );
     }
 
     #[test]

@@ -181,7 +181,11 @@ impl Workload {
 
         WorkloadStats {
             count,
-            span: self.specs.last().map(|s| s.arrival).unwrap_or(SimTime::ZERO),
+            span: self
+                .specs
+                .last()
+                .map(|s| s.arrival)
+                .unwrap_or(SimTime::ZERO),
             mean_prompt: prompts.iter().sum::<u64>() as f64 / count as f64,
             mean_output: outputs.iter().sum::<u64>() as f64 / count as f64,
             p50_prompt: pct(&prompts, 0.50),

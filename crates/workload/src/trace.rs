@@ -66,7 +66,12 @@ pub fn from_csv(text: &str) -> Result<Workload, TraceError> {
             continue;
         }
         let mut fields = line.split(',');
-        let mut next = |_: &str| fields.next().map(str::trim).ok_or(TraceError::BadRow(i + 1));
+        let mut next = |_: &str| {
+            fields
+                .next()
+                .map(str::trim)
+                .ok_or(TraceError::BadRow(i + 1))
+        };
         let arrival: u64 = parse(next("arrival")?, i)?;
         let prompt: u64 = parse(next("prompt")?, i)?;
         let output: u64 = parse(next("output")?, i)?;

@@ -11,8 +11,14 @@ fn arb_gen() -> impl Strategy<Value = tokenflow_workload::arrivals::WorkloadGen>
                 size: n,
                 at: SimTime::ZERO,
             },
-            prompt: LengthDist::Uniform { lo: 1, hi: p.max(1) },
-            output: LengthDist::Uniform { lo: 1, hi: o.max(1) },
+            prompt: LengthDist::Uniform {
+                lo: 1,
+                hi: p.max(1),
+            },
+            output: LengthDist::Uniform {
+                lo: 1,
+                hi: o.max(1),
+            },
             rate: RateDist::Fixed(r),
         }
     })

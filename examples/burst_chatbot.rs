@@ -37,7 +37,7 @@ fn main() {
     let mut baseline_eff = None;
     for (name, sched) in schedulers {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-        let outcome = run_simulation(config, sched, &workload);
+        let outcome = run_simulation_boxed(config, sched, &workload);
         let r = &outcome.report;
         println!(
             "{name:<18} {:>10.1} {:>9.2}s {:>9.2}s {:>10} {:>10.1}",
@@ -55,12 +55,10 @@ fn main() {
 
     // Show what a custom length mix looks like: longer documents shift the
     // bottleneck from prefill to memory rotation.
-    let long_docs = setup
-        .generator(RateDist::Fixed(12.0))
-        .generate(7);
+    let long_docs = setup.generator(RateDist::Fixed(12.0)).generate(7);
     let _ = LengthDist::sharegpt_prompt(); // see the workload crate for more
     let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-    let outcome = run_simulation(config, Box::new(TokenFlowScheduler::new()), &long_docs);
+    let outcome = run_simulation(config, TokenFlowScheduler::new(), &long_docs);
     println!(
         "\nsame burst with uniform 12 tok/s readers: eff {:.1} tok/s, p99 TTFT {:.2}s",
         outcome.report.effective_throughput, outcome.report.ttft.p99

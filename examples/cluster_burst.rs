@@ -1,0 +1,59 @@
+//! Cluster burst: serve a flash crowd with 1, 2, and 4 engine replicas
+//! behind each routing policy, and watch the tail TTFT collapse as the
+//! crowd spreads.
+//!
+//! ```text
+//! cargo run --release --example cluster_burst
+//! ```
+
+use tokenflow::prelude::*;
+use tokenflow::workload::ControlledSetup;
+
+fn router(which: &str) -> Box<dyn Router> {
+    match which {
+        "round-robin" => Box::new(RoundRobinRouter::new()),
+        "least-loaded" => Box::new(LeastLoadedRouter::new()),
+        _ => Box::new(RateAwareRouter::new()),
+    }
+}
+
+fn main() {
+    // The Table 1 RTX 4090 (a) flash crowd: 60 requests at t = 0.
+    let workload = ControlledSetup::rtx4090_a().workload(42);
+    println!(
+        "flash crowd: {} requests at t=0, mean prompt {:.0}, mean output {:.0}\n",
+        workload.len(),
+        workload.stats().mean_prompt,
+        workload.stats().mean_output
+    );
+
+    for replicas in [1usize, 2, 4] {
+        for which in ["round-robin", "least-loaded", "rate-aware"] {
+            if replicas == 1 && which != "round-robin" {
+                continue; // all policies coincide on a single replica
+            }
+            let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
+            let mut cluster = ClusterEngine::new(config, replicas, router(which), || {
+                Box::new(TokenFlowScheduler::new())
+            });
+            cluster.submit_workload(&workload);
+            let complete = cluster.run_to_completion();
+            let outcome = cluster.into_outcome();
+            let spread: Vec<String> = outcome
+                .replicas
+                .iter()
+                .map(|o| o.report.submitted.to_string())
+                .collect();
+            println!(
+                "{replicas} replica(s) · {which:<12} → eff thpt {:>7.1} tok/s · mean TTFT {:>6.2}s \
+                 · p99 TTFT {:>6.2}s · spread [{}]{}",
+                outcome.merged.effective_throughput,
+                outcome.merged.ttft.mean,
+                outcome.merged.ttft.p99,
+                spread.join(", "),
+                if complete { "" } else { " (INCOMPLETE)" },
+            );
+        }
+        println!();
+    }
+}

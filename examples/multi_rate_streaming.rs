@@ -26,11 +26,15 @@ fn main() {
     let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
         .with_max_batch(16)
         .with_timelines(30);
-    let outcome = run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload);
+    let outcome = run_simulation(config, TokenFlowScheduler::new(), &workload);
 
     println!("mixed-rate burst of {} requests under TokenFlow\n", 30);
     for target in [15.0, 20.0] {
-        let class: Vec<_> = outcome.records.iter().filter(|r| r.rate == target).collect();
+        let class: Vec<_> = outcome
+            .records
+            .iter()
+            .filter(|r| r.rate == target)
+            .collect();
         println!("class {target} tok/s ({} requests):", class.len());
         for r in &class {
             let (Some(first), Some(finished)) = (r.first_token_at, r.finished_at) else {

@@ -10,7 +10,7 @@ use tokenflow::prelude::*;
 fn main() {
     // An H200 serving Llama3-8B with the TokenFlow scheduler.
     let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
-    let mut engine = Engine::new(config, Box::new(TokenFlowScheduler::new()));
+    let mut engine = Engine::new(config, TokenFlowScheduler::new());
 
     // Three clients with different reading speeds submit prompts.
     let clients = [
@@ -51,11 +51,7 @@ fn main() {
             }
         }
         for id in &step.finished {
-            println!(
-                "[{:>8.3}s] {} COMPLETE",
-                step.now.as_secs_f64(),
-                names[id]
-            );
+            println!("[{:>8.3}s] {} COMPLETE", step.now.as_secs_f64(), names[id]);
         }
         if step.done {
             break;
@@ -66,7 +62,10 @@ fn main() {
     println!("\n--- run report ---");
     println!("requests completed : {}", outcome.report.completed);
     println!("mean TTFT          : {:.3} s", outcome.report.ttft.mean);
-    println!("throughput         : {:.1} tok/s", outcome.report.throughput);
+    println!(
+        "throughput         : {:.1} tok/s",
+        outcome.report.throughput
+    );
     println!(
         "effective thpt     : {:.1} tok/s",
         outcome.report.effective_throughput

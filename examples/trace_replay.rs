@@ -32,19 +32,25 @@ fn main() {
     let csv = trace::to_csv(&workload);
     let path = std::env::temp_dir().join("tokenflow_trace.csv");
     std::fs::write(&path, &csv).expect("write trace");
-    let reloaded = trace::from_csv(&std::fs::read_to_string(&path).expect("read trace"))
-        .expect("parse trace");
+    let reloaded =
+        trace::from_csv(&std::fs::read_to_string(&path).expect("read trace")).expect("parse trace");
     assert_eq!(reloaded, workload);
-    println!("trace saved to {} and reloaded identically\n", path.display());
+    println!(
+        "trace saved to {} and reloaded identically\n",
+        path.display()
+    );
 
     // 3. Replay under SGLang and TokenFlow on an H200 under memory pressure.
     for (name, sched) in [
-        ("SGLang", Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>),
+        (
+            "SGLang",
+            Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>,
+        ),
         ("TokenFlow", Box::new(TokenFlowScheduler::new())),
     ] {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
             .with_mem_frac(0.3);
-        let outcome = run_simulation(config, sched, &reloaded);
+        let outcome = run_simulation_boxed(config, sched, &reloaded);
         println!(
             "{name:<10} eff {:>7.1} tok/s | thpt {:>7.1} | mean TTFT {:>6.2}s | p99 {:>6.2}s | QoS {:>7.1}",
             outcome.report.effective_throughput,

@@ -13,10 +13,21 @@
 //!   writing, load-evict overlap).
 //! * [`client`] — the token-buffer consumption model and Figure 1 rates.
 //! * [`workload`] — burst/Poisson/BurstGPT/industrial workload generators.
-//! * [`metrics`] — QoS, effective throughput, percentiles, time series.
+//! * [`metrics`] — QoS, effective throughput, percentiles, time series,
+//!   and report merging for multi-replica runs.
 //! * [`sched`] — the four scheduling policies (SGLang FCFS, SGLang
-//!   chunked, Andes-style, TokenFlow).
-//! * [`core`] — the serving engine and `run_simulation` entry point.
+//!   chunked, Andes-style, TokenFlow) behind the plan-based [`Scheduler`]
+//!   interface, plus the `SchedContextBuilder` the engine assembles
+//!   contexts with.
+//! * [`core`] — the serving engine as a staged pipeline (admission → KV
+//!   orchestration → batch composition/pricing → delivery) orchestrated by
+//!   `Engine::step`, and the [`run_simulation`] entry point.
+//! * [`cluster`] — multi-replica serving: `ClusterEngine` drives N engine
+//!   replicas on one simulated timeline behind a pluggable `Router`
+//!   (round-robin, least-loaded, rate-aware QoS).
+//!
+//! [`Scheduler`]: sched::Scheduler
+//! [`run_simulation`]: core::run_simulation
 //!
 //! ## Quickstart
 //!
@@ -35,12 +46,46 @@
 //!     rate: 15.0, // the client reads at 15 tokens/second
 //! }]);
 //! let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
-//! let outcome = run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload);
+//! let outcome = run_simulation(config, TokenFlowScheduler::new(), &workload);
 //! assert_eq!(outcome.report.completed, 1);
 //! println!("TTFT: {:.3}s", outcome.report.ttft.mean);
 //! ```
+//!
+//! ## Scaling out
+//!
+//! ```
+//! use tokenflow::cluster::{run_cluster, RateAwareRouter};
+//! use tokenflow::core::EngineConfig;
+//! use tokenflow::model::{HardwareProfile, ModelProfile};
+//! use tokenflow::sched::TokenFlowScheduler;
+//! use tokenflow::sim::{RequestId, SimTime};
+//! use tokenflow::workload::{RequestSpec, Workload};
+//!
+//! let workload = Workload::new(
+//!     (0..8)
+//!         .map(|_| RequestSpec {
+//!             id: RequestId(0),
+//!             arrival: SimTime::ZERO,
+//!             prompt_tokens: 128,
+//!             output_tokens: 64,
+//!             rate: 15.0,
+//!         })
+//!         .collect(),
+//! );
+//! let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+//! let outcome = run_cluster(
+//!     config,
+//!     2,
+//!     RateAwareRouter::new(),
+//!     || Box::new(TokenFlowScheduler::new()),
+//!     &workload,
+//! );
+//! assert_eq!(outcome.merged.completed, 8);
+//! assert_eq!(outcome.replicas.len(), 2);
+//! ```
 
 pub use tokenflow_client as client;
+pub use tokenflow_cluster as cluster;
 pub use tokenflow_core as core;
 pub use tokenflow_kv as kv;
 pub use tokenflow_metrics as metrics;
@@ -51,7 +96,12 @@ pub use tokenflow_workload as workload;
 
 /// Convenience re-exports of the most common entry points.
 pub mod prelude {
-    pub use tokenflow_core::{run_simulation, Engine, EngineConfig, SimOutcome};
+    pub use tokenflow_cluster::{
+        ClusterEngine, ClusterOutcome, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
+    };
+    pub use tokenflow_core::{
+        run_simulation, run_simulation_boxed, Engine, EngineConfig, EngineLoad, SimOutcome,
+    };
     pub use tokenflow_metrics::{QosParams, RunReport};
     pub use tokenflow_model::{CostModel, HardwareProfile, ModelProfile};
     pub use tokenflow_sched::{

@@ -34,7 +34,7 @@ fn every_scheduler_completes_a_contended_burst() {
         let name = sched.name();
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
             .with_max_batch(8);
-        let outcome = run_simulation(config, sched, &workload);
+        let outcome = run_simulation_boxed(config, sched, &workload);
         assert!(outcome.complete, "{name} must complete");
         assert_eq!(outcome.report.completed, 24, "{name}");
         for r in &outcome.records {
@@ -50,12 +50,12 @@ fn tokenflow_beats_fcfs_under_burst() {
     // The headline reproduction claim on the paper's 4090 (a) setting:
     // higher effective throughput and lower tail TTFT.
     let workload = ControlledSetup::rtx4090_a().workload(42);
-    let run = |sched: Box<dyn Scheduler>| {
+    fn run(sched: impl Scheduler + 'static, workload: &Workload) -> SimOutcome {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-        run_simulation(config, sched, &workload)
-    };
-    let fcfs = run(Box::new(FcfsScheduler::new()));
-    let tf = run(Box::new(TokenFlowScheduler::new()));
+        run_simulation(config, sched, workload)
+    }
+    let fcfs = run(FcfsScheduler::new(), &workload);
+    let tf = run(TokenFlowScheduler::new(), &workload);
     assert!(fcfs.complete && tf.complete);
     assert!(
         tf.report.effective_throughput > 1.5 * fcfs.report.effective_throughput,
@@ -80,12 +80,12 @@ fn andes_pays_a_raw_throughput_penalty() {
     // §7.3: "Andes shows notable degradation compared to SGLang in
     // throughput" — recompute-based preemption burns capacity.
     let workload = ControlledSetup::rtx4090_a().workload(42);
-    let run = |sched: Box<dyn Scheduler>| {
+    fn run(sched: impl Scheduler + 'static, workload: &Workload) -> SimOutcome {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-        run_simulation(config, sched, &workload)
-    };
-    let fcfs = run(Box::new(FcfsScheduler::new()));
-    let andes = run(Box::new(AndesScheduler::new()));
+        run_simulation(config, sched, workload)
+    }
+    let fcfs = run(FcfsScheduler::new(), &workload);
+    let andes = run(AndesScheduler::new(), &workload);
     assert!(
         andes.report.throughput < fcfs.report.throughput,
         "Andes {} vs SGLang {}",
@@ -100,7 +100,7 @@ fn simulation_is_deterministic_end_to_end() {
     let run = || {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
             .with_mem_frac(0.3);
-        run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload)
+        run_simulation(config, TokenFlowScheduler::new(), &workload)
     };
     let a = run();
     let b = run();
@@ -120,7 +120,7 @@ fn ablation_offload_disabled_is_slowest() {
     let run = |offload: bool, wt: bool, overlap: bool| {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
             .with_kv_features(offload, wt, overlap);
-        run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload)
+        run_simulation(config, TokenFlowScheduler::new(), &workload)
     };
     let full = run(true, true, true);
     let no_offload = run(false, false, true);
@@ -142,7 +142,7 @@ fn trace_roundtrip_replays_identically() {
     assert_eq!(reloaded, workload);
     let run = |w: &Workload| {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-        run_simulation(config, Box::new(FcfsScheduler::new()), w)
+        run_simulation(config, FcfsScheduler::new(), w)
     };
     assert_eq!(run(&workload).report, run(&reloaded).report);
 }
@@ -161,9 +161,9 @@ fn multi_rate_classes_hold_their_targets() {
             })
             .collect(),
     );
-    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
-        .with_max_batch(12);
-    let outcome = run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload);
+    let config =
+        EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090()).with_max_batch(12);
+    let outcome = run_simulation(config, TokenFlowScheduler::new(), &workload);
     assert!(outcome.complete);
     for r in &outcome.records {
         // Streaming window cannot beat the reader's own pace and should
@@ -190,7 +190,7 @@ fn stalls_stay_bounded_under_feasible_load() {
     let workload = ControlledSetup::h200_a().workload(42);
     let config =
         EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200()).with_mem_frac(0.3);
-    let outcome = run_simulation(config, Box::new(TokenFlowScheduler::new()), &workload);
+    let outcome = run_simulation(config, TokenFlowScheduler::new(), &workload);
     assert!(outcome.complete);
     let playback: f64 = outcome
         .records
@@ -209,7 +209,7 @@ fn stalls_stay_bounded_under_feasible_load() {
 fn queued_series_reflects_burst_then_drains() {
     let workload = ControlledSetup::rtx4090_a().workload(1);
     let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-    let outcome = run_simulation(config, Box::new(FcfsScheduler::new()), &workload);
+    let outcome = run_simulation(config, FcfsScheduler::new(), &workload);
     let peak = outcome.queued_series.max().unwrap_or(0.0);
     assert!(peak > 10.0, "burst must queue: peak {peak}");
     let last = outcome.queued_series.samples().last().unwrap().1;
@@ -230,9 +230,9 @@ fn agents_yield_to_interactive_clients() {
         output_tokens: 400,
         rate,
     };
-    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
-        .with_max_batch(6);
-    let mut engine = Engine::new(config, Box::new(TokenFlowScheduler::new()));
+    let config =
+        EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090()).with_max_batch(6);
+    let mut engine = Engine::new(config, TokenFlowScheduler::new());
     let mut interactive = Vec::new();
     let mut agents = Vec::new();
     for _ in 0..8 {
@@ -275,7 +275,7 @@ fn agents_run_at_full_speed_when_idle() {
     use tokenflow::core::Engine;
 
     let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
-    let mut engine = Engine::new(config, Box::new(TokenFlowScheduler::new()));
+    let mut engine = Engine::new(config, TokenFlowScheduler::new());
     let id = engine.submit_agent(RequestSpec {
         id: RequestId(0),
         arrival: SimTime::ZERO,

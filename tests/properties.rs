@@ -7,24 +7,22 @@ use tokenflow::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
     // 1-16 requests with small prompts/outputs and varied rates/arrivals.
-    prop::collection::vec(
-        (1u64..600, 4u64..200, 5u64..400, 5.0f64..60.0),
-        1..16,
+    prop::collection::vec((1u64..600, 4u64..200, 5u64..400, 5.0f64..60.0), 1..16).prop_map(
+        |specs| {
+            Workload::new(
+                specs
+                    .into_iter()
+                    .map(|(arrival_ms, prompt, output, rate)| RequestSpec {
+                        id: RequestId(0),
+                        arrival: SimTime::from_millis(arrival_ms),
+                        prompt_tokens: prompt,
+                        output_tokens: output,
+                        rate,
+                    })
+                    .collect(),
+            )
+        },
     )
-    .prop_map(|specs| {
-        Workload::new(
-            specs
-                .into_iter()
-                .map(|(arrival_ms, prompt, output, rate)| RequestSpec {
-                    id: RequestId(0),
-                    arrival: SimTime::from_millis(arrival_ms),
-                    prompt_tokens: prompt,
-                    output_tokens: output,
-                    rate,
-                })
-                .collect(),
-        )
-    })
 }
 
 fn arb_scheduler() -> impl Strategy<Value = u8> {

@@ -1,0 +1,8 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` annotations
+//! across the workspace compile without the real crates.io dependency.
+//! See `DESIGN.md` ("Dependency policy") for the substitution argument.
+
+pub use serde_derive::{Deserialize, Serialize};

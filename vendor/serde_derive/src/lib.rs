@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real `serde_derive`
+//! cannot be fetched. Workspace types annotate themselves with
+//! `#[derive(Serialize, Deserialize)]` purely as a forward-compatible
+//! serialisation marker; nothing in the codebase calls serde's traits yet.
+//! These derives therefore expand to nothing, keeping the annotations
+//! compiling until the real dependency can be vendored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` field
+/// and container attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` field
+/// and container attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
