@@ -1,0 +1,250 @@
+//! Fleet experiment: replica scaling to 32 replicas under the flash
+//! crowd, with wall-clock cost of the sequential vs parallel epoch
+//! executor.
+//!
+//! Not a paper figure — this is the repo's fleet-scale extension: the
+//! arrival-barrier epoch refactor makes every replica independent between
+//! router dispatch points, so a 32-replica burst simulation costs one
+//! replica's wall-clock on enough cores instead of 32×. The sweep is
+//! *weak scaling* (a fixed per-replica share of the flash crowd, so the
+//! fleet serves a crowd that grows with it — TokenScale's tens-of-
+//! instances regime), and every parallel run is checked byte-identical to
+//! its sequential twin before any number is reported.
+//!
+//! Results are also emitted as machine-readable JSON (`BENCH_fleet.json`
+//! in the working directory) so the perf trajectory can be tracked across
+//! commits without parsing tables.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use tokenflow_cluster::{run_cluster_with, Execution, LeastLoadedRouter};
+use tokenflow_core::EngineConfig;
+use tokenflow_model::{HardwareProfile, ModelProfile};
+use tokenflow_sched::TokenFlowScheduler;
+use tokenflow_sim::SimTime;
+use tokenflow_workload::{ArrivalSpec, LengthDist, RateDist, Workload, WorkloadGen};
+
+use crate::table::{f, Table};
+
+/// Requests each replica is sized for — the Table 1 RTX 4090 (a) burst.
+const PER_REPLICA_REQUESTS: u32 = 60;
+
+/// One row of the fleet sweep.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Fleet size.
+    pub replicas: usize,
+    /// Flash-crowd size served (scales with the fleet).
+    pub requests: usize,
+    /// Merged effective throughput, tokens/second.
+    pub effective_throughput: f64,
+    /// Merged P99 time-to-first-token, seconds.
+    pub p99_ttft: f64,
+    /// Merged QoS score.
+    pub qos: f64,
+    /// Whether every replica completed its share.
+    pub complete: bool,
+    /// Wall-clock of the sequential executor, seconds.
+    pub sequential_secs: f64,
+    /// Wall-clock of the parallel executor, seconds.
+    pub parallel_secs: f64,
+    /// `sequential_secs / parallel_secs`.
+    pub speedup: f64,
+}
+
+/// The flash crowd sized for `replicas` engines: `60 × replicas`
+/// simultaneous requests with the 4090 (a) length classes and
+/// heterogeneous streaming rates.
+fn crowd(replicas: usize) -> Workload {
+    WorkloadGen {
+        arrivals: ArrivalSpec::Burst {
+            size: PER_REPLICA_REQUESTS * replicas as u32,
+            at: SimTime::ZERO,
+        },
+        prompt: LengthDist::Normal {
+            mean: 512.0,
+            std: 128.0,
+            min: 16,
+            max: 2048,
+        },
+        output: LengthDist::Normal {
+            mean: 1024.0,
+            std: 256.0,
+            min: 16,
+            max: 4096,
+        },
+        rate: RateDist::Uniform { lo: 6.0, hi: 30.0 },
+    }
+    .generate(42)
+}
+
+/// Runs the sweep over `fleet_sizes`, timing both executors per size and
+/// asserting their outcomes byte-identical before reporting.
+///
+/// # Panics
+///
+/// Panics if a parallel run diverges from its sequential twin — a fleet
+/// number from a broken determinism contract is worse than no number.
+pub fn fleet_sweep(fleet_sizes: &[usize], workers: NonZeroUsize) -> Vec<FleetRow> {
+    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
+    fleet_sizes
+        .iter()
+        .map(|&replicas| {
+            let workload = crowd(replicas);
+            let run = |execution: Execution| {
+                let start = Instant::now();
+                let out = run_cluster_with(
+                    config.clone(),
+                    replicas,
+                    LeastLoadedRouter::new(),
+                    || Box::new(TokenFlowScheduler::new()),
+                    &workload,
+                    execution,
+                );
+                (out, start.elapsed().as_secs_f64())
+            };
+            let (seq, sequential_secs) = run(Execution::Sequential);
+            let (par, parallel_secs) = run(Execution::Parallel(workers));
+            assert_eq!(
+                seq.merged, par.merged,
+                "executor divergence at {replicas} replicas"
+            );
+            assert_eq!(
+                seq.assignments, par.assignments,
+                "assignment divergence at {replicas} replicas"
+            );
+            FleetRow {
+                replicas,
+                requests: workload.len(),
+                effective_throughput: seq.merged.effective_throughput,
+                p99_ttft: seq.merged.ttft.p99,
+                qos: seq.merged.qos,
+                complete: seq.complete,
+                sequential_secs,
+                parallel_secs,
+                speedup: sequential_secs / parallel_secs.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as machine-readable JSON (hand-rolled: the vendored
+/// serde stand-in has no serializer; the shape is one `rows` array of
+/// flat objects, stable across commits for trend tooling).
+pub fn fleet_json(rows: &[FleetRow], workers: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"fleet\",\n");
+    s.push_str("  \"router\": \"least-loaded\",\n");
+    s.push_str("  \"scheduler\": \"TokenFlow\",\n");
+    s.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    s.push_str(&format!(
+        "  \"per_replica_requests\": {PER_REPLICA_REQUESTS},\n"
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"replicas\": {}, \"requests\": {}, \"effective_throughput\": {:.3}, \
+             \"p99_ttft\": {:.4}, \"qos\": {:.3}, \"complete\": {}, \
+             \"sequential_secs\": {:.4}, \"parallel_secs\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.replicas,
+            r.requests,
+            r.effective_throughput,
+            r.p99_ttft,
+            r.qos,
+            r.complete,
+            r.sequential_secs,
+            r.parallel_secs,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The fleet experiment: 1–32 replicas, weak-scaled flash crowd, both
+/// executors, JSON trajectory in `BENCH_fleet.json`.
+pub fn fleet() -> String {
+    let workers = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
+    let rows = fleet_sweep(&[1, 2, 4, 8, 16, 32], workers);
+
+    let json = fleet_json(&rows, workers.get());
+    let json_note = match std::fs::write("BENCH_fleet.json", &json) {
+        Ok(()) => "JSON trajectory written to BENCH_fleet.json".to_string(),
+        Err(e) => format!("(could not write BENCH_fleet.json: {e})"),
+    };
+
+    let mut s = format!(
+        "Weak-scaling flash crowd: {PER_REPLICA_REQUESTS} requests per replica arriving at\n\
+         once (rates uniform in [6, 30] tok/s), least-loaded routing, TokenFlow\n\
+         scheduling. Sequential and parallel executors are asserted\n\
+         byte-identical per size; speedup is their wall-clock ratio on this\n\
+         host ({} worker thread(s) — expect ≈1.0 on a single core and >1 at\n\
+         8+ replicas on multi-core hosts).\n\n",
+        workers.get()
+    );
+    let mut table = Table::new(vec![
+        "replicas",
+        "requests",
+        "eff thpt (tok/s)",
+        "p99 TTFT (s)",
+        "QoS",
+        "complete",
+        "seq wall (s)",
+        "par wall (s)",
+        "speedup",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.replicas.to_string(),
+            r.requests.to_string(),
+            f(r.effective_throughput, 1),
+            f(r.p99_ttft, 2),
+            f(r.qos, 1),
+            r.complete.to_string(),
+            f(r.sequential_secs, 3),
+            f(r.parallel_secs, 3),
+            f(r.speedup, 2),
+        ]);
+    }
+    s.push_str(&table.render());
+    s.push('\n');
+    s.push_str(&json_note);
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_sweep_small_sizes_complete_and_match() {
+        // The full 1–32 sweep runs in the bench harness; tests pin the
+        // contract on a small fleet to stay fast.
+        let rows = fleet_sweep(&[1, 2], NonZeroUsize::new(2).unwrap());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.complete, "{} replicas incomplete", r.replicas);
+            assert_eq!(r.requests, PER_REPLICA_REQUESTS as usize * r.replicas);
+            assert!(r.effective_throughput > 0.0);
+            assert!(r.sequential_secs > 0.0 && r.parallel_secs > 0.0);
+        }
+        // Weak scaling: the doubled fleet serves the doubled crowd with
+        // more aggregate throughput.
+        assert!(rows[1].effective_throughput > rows[0].effective_throughput);
+    }
+
+    #[test]
+    fn fleet_json_is_wellformed_enough() {
+        let rows = fleet_sweep(&[1], NonZeroUsize::new(1).unwrap());
+        let json = fleet_json(&rows, 1);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"experiment\": \"fleet\""));
+        assert!(json.contains("\"replicas\": 1"));
+        assert!(json.contains("\"speedup\""));
+        // One row, no trailing comma.
+        assert!(!json.contains("},\n  ]"));
+    }
+}

@@ -9,6 +9,7 @@
 
 pub mod cluster;
 pub mod e2e;
+pub mod fleet;
 pub mod kvmem;
 pub mod micro;
 pub mod sched_behavior;
@@ -120,6 +121,11 @@ pub fn all() -> Vec<Experiment> {
             id: "cluster",
             title: "Cluster scaling: 1/2/4 replicas × routing policy under burst",
             run: cluster::cluster_burst,
+        },
+        Experiment {
+            id: "fleet",
+            title: "Fleet scaling: 1-32 replicas, sequential vs parallel epoch execution",
+            run: fleet::fleet,
         },
     ]
 }

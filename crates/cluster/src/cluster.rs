@@ -1,4 +1,5 @@
-//! The cluster engine: N replicas, one simulated timeline.
+//! The cluster engine: N replicas, one simulated timeline, executed as a
+//! sequence of arrival-barrier epochs.
 
 use std::collections::VecDeque;
 
@@ -8,6 +9,7 @@ use tokenflow_sched::Scheduler;
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 use tokenflow_workload::{RequestSpec, Workload};
 
+use crate::executor::{self, Execution};
 use crate::router::Router;
 
 /// Where one cluster request ended up. An [`Assignment`]'s position in
@@ -41,16 +43,21 @@ pub struct ClusterOutcome {
 /// Drives N independent engine replicas on one simulated clock behind a
 /// pluggable [`Router`].
 ///
-/// Requests are dispatched to replicas when the cluster timeline reaches
-/// their arrival (router decisions see each replica's live
-/// [`load_snapshot`](Engine::load_snapshot)); replicas then advance in
-/// lockstep, always stepping the replica furthest behind, so no replica's
-/// decisions ever depend on another's future.
+/// Execution is a sequence of **arrival-barrier epochs**. At each barrier
+/// the coordinator routes the requests due at that instant (router
+/// decisions see each replica's live
+/// [`load_snapshot`](Engine::load_snapshot)); between barriers — up to
+/// the next arrival, or the final drain — replicas never observe each
+/// other, so each advances independently through
+/// [`Engine::step_until`]. [`ClusterEngine::with_execution`] chooses
+/// whether that independent work runs sequentially or on scoped worker
+/// threads; the choice cannot affect any outcome byte
+/// (see [`Execution`]).
 ///
 /// # Examples
 ///
 /// ```
-/// use tokenflow_cluster::{ClusterEngine, LeastLoadedRouter};
+/// use tokenflow_cluster::{ClusterEngine, Execution, LeastLoadedRouter};
 /// use tokenflow_core::EngineConfig;
 /// use tokenflow_model::{HardwareProfile, ModelProfile};
 /// use tokenflow_sched::FcfsScheduler;
@@ -60,7 +67,8 @@ pub struct ClusterOutcome {
 /// let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
 /// let mut cluster = ClusterEngine::new(config, 2, LeastLoadedRouter::new(), || {
 ///     Box::new(FcfsScheduler::new())
-/// });
+/// })
+/// .with_execution(Execution::parallel(2));
 /// cluster.submit_workload(&Workload::new(vec![RequestSpec {
 ///     id: RequestId(0),
 ///     arrival: SimTime::ZERO,
@@ -75,9 +83,11 @@ pub struct ClusterOutcome {
 pub struct ClusterEngine {
     replicas: Vec<Engine>,
     router: Box<dyn Router>,
+    execution: Execution,
     /// Undispatched requests, sorted by arrival (submission order).
     pending: VecDeque<RequestSpec>,
-    /// Per-replica "reported done" flags from the last step.
+    /// Per-replica "all submitted work finished" flags from the last
+    /// epoch (an idle replica counts as done until work is routed to it).
     done: Vec<bool>,
     assignments: Vec<Assignment>,
     qos: QosParams,
@@ -86,7 +96,9 @@ pub struct ClusterEngine {
 
 impl ClusterEngine {
     /// Creates a cluster of `replicas` engines sharing one configuration,
-    /// each with its own scheduler instance from `scheduler_factory`.
+    /// each with its own scheduler instance from `scheduler_factory`,
+    /// using sequential epoch execution (see
+    /// [`with_execution`](ClusterEngine::with_execution)).
     ///
     /// # Panics
     ///
@@ -106,11 +118,25 @@ impl ClusterEngine {
             done: vec![true; engines.len()],
             replicas: engines,
             router: Box::new(router),
+            execution: Execution::Sequential,
             pending: VecDeque::new(),
             assignments: Vec::new(),
             qos: config.qos,
             deadline: config.deadline,
         }
+    }
+
+    /// Sets the epoch execution strategy. Sequential and parallel
+    /// execution produce byte-identical outcomes; parallel execution only
+    /// changes how much wall-clock time a many-replica simulation costs.
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// The current epoch execution strategy.
+    pub fn execution(&self) -> Execution {
+        self.execution
     }
 
     /// Number of replicas.
@@ -124,9 +150,8 @@ impl ClusterEngine {
     }
 
     /// The cluster timeline: the furthest-behind replica that still has
-    /// work (its clock is where the lockstep loop operates). A finished
-    /// replica's clock freezes, so once everything is idle the timeline
-    /// is the furthest-ahead clock instead.
+    /// work. A finished replica's clock freezes, so once everything is
+    /// idle the timeline is the furthest-ahead clock instead.
     pub fn now(&self) -> SimTime {
         let busy = (0..self.replicas.len())
             .filter(|&i| !self.done[i])
@@ -170,7 +195,9 @@ impl ClusterEngine {
         self.replicas.iter().map(|e| e.load_snapshot()).collect()
     }
 
-    /// Routes every pending request whose arrival is due by `t`.
+    /// Routes every pending request whose arrival is due by `t`. Runs on
+    /// the coordinator thread only — this is the barrier where replicas
+    /// become observable to each other (through their load snapshots).
     fn dispatch_due(&mut self, t: SimTime) {
         while self.pending.front().is_some_and(|s| s.arrival <= t) {
             let spec = self.pending.pop_front().expect("front checked");
@@ -183,62 +210,47 @@ impl ClusterEngine {
         }
     }
 
-    /// Runs one cluster scheduling round: dispatch due arrivals, then step
-    /// the furthest-behind busy replica. Returns `false` once every
-    /// request has been dispatched and every replica reports done.
-    pub fn step(&mut self) -> bool {
-        // The furthest-behind replica that still has work.
-        let behind = (0..self.replicas.len())
-            .filter(|&i| !self.done[i])
-            .min_by_key(|&i| (self.replicas[i].now(), i));
-        match behind {
-            Some(i) => {
-                // Dispatch everything due by the step's start so routing
-                // happens before time passes it. (This may wake an even
-                // further-behind replica; the next round steps it first.)
-                self.dispatch_due(self.replicas[i].now());
-                let out = self.replicas[i].step();
-                self.done[i] = out.done;
-                true
-            }
-            None => {
-                let Some(next) = self.pending.front() else {
-                    return false;
-                };
-                // Every replica is idle: jump the timeline to the next
-                // arrival group and dispatch it.
-                let t = next.arrival;
-                self.dispatch_due(t);
-                true
-            }
-        }
-    }
-
-    /// Runs until every submitted request completes on its replica (or a
-    /// replica hits the configured deadline). Returns whether the cluster
-    /// completed.
-    pub fn run_to_completion(&mut self) -> bool {
+    /// Runs one arrival-barrier epoch: dispatch the next due arrival
+    /// group at the barrier, then advance every busy replica — under the
+    /// configured [`Execution`] strategy — until the next barrier (the
+    /// following arrival time, or the safety deadline on the final
+    /// drain). Returns `false` once no further epoch can make progress:
+    /// everything is dispatched and finished, or every busy replica has
+    /// reached the deadline.
+    pub fn epoch(&mut self) -> bool {
         let deadline = SimTime::ZERO + self.deadline;
-        while self.step() {
-            // Completion wins over the deadline: a final iteration that
-            // both finishes the workload and crosses the cut-off is a
-            // completed run (mirroring Engine::run_to_completion's
-            // done-first ordering).
-            if self.pending.is_empty() && self.done.iter().all(|&d| d) {
-                return true;
-            }
-            // The frontier clock (not the trailing one — a finished
-            // replica's clock freezes) decides the deadline cut-off.
-            let frontier = self
+        if self.pending.is_empty() && self.done.iter().all(|&d| d) {
+            return false;
+        }
+        if let Some(arrival) = self.pending.front().map(|s| s.arrival) {
+            // Arrivals at or past the safety deadline are still routed:
+            // conservation ("every submitted request lands on exactly one
+            // replica") holds on incomplete runs too, and the unreachable
+            // requests materialise as unfinished records — exactly what a
+            // single engine reports for work the cut-off strands.
+            self.dispatch_due(arrival);
+        }
+        let until = self
+            .pending
+            .front()
+            .map_or(deadline, |s| s.arrival)
+            .min(deadline);
+        executor::advance_until(&mut self.replicas, &mut self.done, until, self.execution);
+        // Another epoch can make progress while arrivals remain or some
+        // busy replica still sits short of the deadline.
+        !self.pending.is_empty()
+            || self
                 .replicas
                 .iter()
-                .map(|e| e.now())
-                .max()
-                .expect("non-empty replica set");
-            if frontier >= deadline {
-                return false;
-            }
-        }
+                .zip(&self.done)
+                .any(|(e, &d)| !d && e.now() < deadline)
+    }
+
+    /// Runs epochs until every submitted request completes on its replica
+    /// (or a replica hits the configured deadline). Returns whether the
+    /// cluster completed.
+    pub fn run_to_completion(&mut self) -> bool {
+        while self.epoch() {}
         self.pending.is_empty() && self.done.iter().all(|&d| d)
     }
 
@@ -275,8 +287,16 @@ impl ClusterEngine {
     }
 }
 
+// Evaluated at compile time: a whole cluster (replicas + boxed router)
+// must stay movable across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ClusterEngine>()
+};
+
 /// Runs a whole workload through a fresh cluster: the one-call entry
-/// point mirroring [`tokenflow_core::run_simulation`].
+/// point mirroring [`tokenflow_core::run_simulation`]. Uses sequential
+/// epoch execution; see [`run_cluster_with`] to pick a strategy.
 pub fn run_cluster(
     config: EngineConfig,
     replicas: usize,
@@ -284,7 +304,29 @@ pub fn run_cluster(
     scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
     workload: &Workload,
 ) -> ClusterOutcome {
-    let mut cluster = ClusterEngine::new(config, replicas, router, scheduler_factory);
+    run_cluster_with(
+        config,
+        replicas,
+        router,
+        scheduler_factory,
+        workload,
+        Execution::Sequential,
+    )
+}
+
+/// [`run_cluster`] with an explicit [`Execution`] strategy. The strategy
+/// never changes results — only the wall-clock cost of simulating many
+/// replicas.
+pub fn run_cluster_with(
+    config: EngineConfig,
+    replicas: usize,
+    router: impl Router + 'static,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
+    workload: &Workload,
+    execution: Execution,
+) -> ClusterOutcome {
+    let mut cluster =
+        ClusterEngine::new(config, replicas, router, scheduler_factory).with_execution(execution);
     cluster.submit_workload(workload);
     cluster.run_to_completion();
     cluster.into_outcome()

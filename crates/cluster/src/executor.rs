@@ -1,0 +1,153 @@
+//! Epoch execution strategies: how replicas advance between arrival
+//! barriers.
+//!
+//! The cluster's execution model is a sequence of **arrival-barrier
+//! epochs**. At a barrier the coordinator routes every request due at the
+//! barrier time (reading [`EngineLoad`](tokenflow_core::EngineLoad)
+//! snapshots); during the epoch that follows — up to the next arrival, or
+//! the final drain — replicas never observe each other, so each one can
+//! be advanced independently via
+//! [`Engine::step_until`](tokenflow_core::Engine::step_until).
+//!
+//! [`Execution`] picks *how* that independent work runs:
+//!
+//! * [`Execution::Sequential`] — one replica after another on the calling
+//!   thread. Zero threading overhead; wall-clock cost grows linearly with
+//!   replica count.
+//! * [`Execution::Parallel`] — replicas are sliced across
+//!   `std::thread::scope` workers. Because an epoch's per-replica work is
+//!   closed over the replica's own state (each [`Engine`] is a
+//!   self-contained deterministic simulator and the router only runs on
+//!   the coordinator between epochs), the executor choice cannot change a
+//!   single byte of any outcome — a property test holds every shipped
+//!   router to exactly that contract.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+use tokenflow_core::Engine;
+use tokenflow_sim::SimTime;
+
+/// How the cluster advances its replicas within one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Advance replicas one at a time on the coordinator thread.
+    #[default]
+    Sequential,
+    /// Advance replicas on up to this many scoped worker threads.
+    /// `Parallel(1)` is semantically *and* observably identical to
+    /// [`Execution::Sequential`] (one worker walks the same replica list
+    /// in the same order); larger counts split the replica list into
+    /// contiguous slices, one worker per slice.
+    Parallel(NonZeroUsize),
+}
+
+impl Execution {
+    /// Parallel execution sized to the host: one worker per available
+    /// core (as reported by [`std::thread::available_parallelism`]),
+    /// falling back to sequential execution when parallelism cannot be
+    /// determined.
+    pub fn parallel_auto() -> Self {
+        thread::available_parallelism()
+            .map(Execution::Parallel)
+            .unwrap_or(Execution::Sequential)
+    }
+
+    /// Convenience constructor clamping `threads` to at least one.
+    pub fn parallel(threads: usize) -> Self {
+        Execution::Parallel(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// Short name for reports (`"sequential"` / `"parallel(n)"`).
+    pub fn describe(&self) -> String {
+        match self {
+            Execution::Sequential => "sequential".to_string(),
+            Execution::Parallel(n) => format!("parallel({n})"),
+        }
+    }
+}
+
+/// Advances every busy replica (`done[i] == false`) until its clock
+/// reaches `until`, it finishes all submitted work, or it goes quiescent;
+/// updates `done` in place from each replica's
+/// [`step_until`](Engine::step_until) verdict.
+///
+/// The executor only chooses *where* each replica's loop runs — never
+/// *what* it does — so all strategies produce identical replica states.
+pub(crate) fn advance_until(
+    replicas: &mut [Engine],
+    done: &mut [bool],
+    until: SimTime,
+    execution: Execution,
+) {
+    debug_assert_eq!(replicas.len(), done.len());
+    match execution {
+        Execution::Sequential => {
+            for (i, engine) in replicas.iter_mut().enumerate() {
+                if !done[i] {
+                    done[i] = engine.step_until(until);
+                }
+            }
+        }
+        Execution::Parallel(threads) => {
+            // Collect the busy replicas (with their indices) and slice the
+            // list across workers. Slices are disjoint `&mut` borrows, so
+            // no synchronization is needed beyond scope join; results come
+            // back keyed by replica index, making the merge order-blind.
+            let mut busy: Vec<(usize, &mut Engine)> = replicas
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| !done[*i])
+                .collect();
+            if busy.is_empty() {
+                return;
+            }
+            let per_worker = busy.len().div_ceil(threads.get());
+            let verdicts: Vec<(usize, bool)> = thread::scope(|scope| {
+                let handles: Vec<_> = busy
+                    .chunks_mut(per_worker)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter_mut()
+                                .map(|(i, engine)| (*i, engine.step_until(until)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("replica worker panicked"))
+                    .collect()
+            });
+            for (i, finished) in verdicts {
+                done[i] = finished;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_names_strategies() {
+        assert_eq!(Execution::Sequential.describe(), "sequential");
+        assert_eq!(Execution::parallel(4).describe(), "parallel(4)");
+    }
+
+    #[test]
+    fn parallel_clamps_to_one_worker() {
+        assert_eq!(Execution::parallel(0), Execution::parallel(1));
+    }
+
+    #[test]
+    fn auto_parallelism_is_parallel_on_multicore() {
+        // On any host where available_parallelism succeeds this is
+        // Parallel(n >= 1); the fallback is Sequential. Either way the
+        // value must be usable.
+        let e = Execution::parallel_auto();
+        assert!(!e.describe().is_empty());
+    }
+}

@@ -10,26 +10,35 @@
 //!   [`RateAwareRouter`] (balances declared streaming demand `Σ rᵢ`
 //!   against each replica's capacity, the cluster-level analogue of the
 //!   paper's schedulability test).
-//! * [`cluster`] — the [`ClusterEngine`]: routed dispatch at arrival
-//!   time, lockstep replica stepping (always advance the furthest-behind
-//!   replica, so no decision depends on another replica's future), and
-//!   [`ClusterOutcome`] with per-replica
+//! * [`cluster`] — the [`ClusterEngine`]: arrival-barrier epoch
+//!   execution. At each barrier the coordinator routes the requests due
+//!   at that instant; between barriers replicas never observe each other,
+//!   so each advances independently to the next barrier. The
+//!   [`ClusterOutcome`] carries per-replica
 //!   [`SimOutcome`](tokenflow_core::SimOutcome)s plus an exact merged
 //!   [`RunReport`](tokenflow_metrics::RunReport).
+//! * [`executor`] — how epochs run: [`Execution::Sequential`] walks the
+//!   replicas on the coordinator thread; [`Execution::Parallel`] slices
+//!   them across `std::thread::scope` workers. The strategy cannot change
+//!   a byte of any outcome (the equivalence property test in
+//!   `tests/equivalence.rs` holds every shipped router to that), so
+//!   replica count is a *capability*, not a wall-clock cost.
 //!
 //! Routing decisions consume [`EngineLoad`](tokenflow_core::EngineLoad)
 //! snapshots only, so routers cannot reach into replica internals and the
 //! whole cluster stays deterministic — cluster runs reproduce
-//! bit-for-bit, like single-engine runs.
+//! bit-for-bit, like single-engine runs, regardless of executor.
 //!
-//! See the `cluster_burst` example and the bench suite's `cluster`
-//! experiment for 1/2/4-replica comparisons under the paper's burst
-//! workload.
+//! See the `cluster_burst` example and the bench suite's `cluster` and
+//! `fleet` experiments for replica-scaling comparisons under the paper's
+//! burst workload.
 
 pub mod cluster;
+pub mod executor;
 pub mod router;
 
-pub use cluster::{run_cluster, Assignment, ClusterEngine, ClusterOutcome};
+pub use cluster::{run_cluster, run_cluster_with, Assignment, ClusterEngine, ClusterOutcome};
+pub use executor::Execution;
 pub use router::{LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router};
 
 #[cfg(test)]
@@ -163,6 +172,43 @@ mod tests {
         // Second-wave TTFTs are measured from their own arrivals, so the
         // gap does not show up as queueing.
         assert!(out.merged.ttft.max < 10.0, "{:?}", out.merged.ttft);
+    }
+
+    #[test]
+    fn arrivals_beyond_the_deadline_still_land_on_replicas() {
+        // Conservation holds on incomplete runs: a request arriving past
+        // the safety deadline is still routed (one assignment, one
+        // record) and reported unfinished, like a single engine strands
+        // work at the cut-off.
+        let mut cfg = config();
+        cfg.deadline = tokenflow_sim::SimDuration::from_secs(10);
+        let mut specs: Vec<RequestSpec> = (0..3)
+            .map(|_| RequestSpec {
+                id: RequestId(0),
+                arrival: SimTime::ZERO,
+                prompt_tokens: 64,
+                output_tokens: 20,
+                rate: 20.0,
+            })
+            .collect();
+        specs.push(RequestSpec {
+            id: RequestId(0),
+            arrival: SimTime::from_secs(60),
+            prompt_tokens: 64,
+            output_tokens: 20,
+            rate: 20.0,
+        });
+        let w = Workload::new(specs);
+        let mut c = ClusterEngine::new(cfg, 2, RoundRobinRouter::new(), || {
+            Box::new(FcfsScheduler::new())
+        });
+        c.submit_workload(&w);
+        assert!(!c.run_to_completion());
+        let out = c.into_outcome();
+        assert!(!out.complete);
+        assert_eq!(out.assignments.len(), 4);
+        assert_eq!(out.merged.submitted, 4);
+        assert_eq!(out.merged.completed, 3);
     }
 
     #[test]

@@ -21,7 +21,12 @@ use tokenflow_workload::RequestSpec;
 ///
 /// Implementations must be deterministic: identical snapshots and specs
 /// must produce identical choices, so cluster runs reproduce bit-for-bit.
-pub trait Router {
+///
+/// `Send` is a supertrait so a [`ClusterEngine`](crate::ClusterEngine)
+/// holding a boxed router stays movable across threads alongside its
+/// replicas. The router itself always runs on the coordinator thread (at
+/// arrival barriers) — the bound never implies concurrent routing.
+pub trait Router: Send {
     /// Short policy name for reports (e.g. `"least-loaded"`).
     fn name(&self) -> &'static str;
 
@@ -69,7 +74,9 @@ impl Router for RoundRobinRouter {
 }
 
 /// Join-shortest-queue: the replica with the fewest live requests wins;
-/// ties break toward more free KV, then the lowest index.
+/// ties break toward the smaller pending prefill backlog (admission
+/// pressure a new request would queue behind), then more free KV, then
+/// the lowest index.
 #[derive(Debug, Clone, Default)]
 pub struct LeastLoadedRouter;
 
@@ -89,7 +96,14 @@ impl Router for LeastLoadedRouter {
         loads
             .iter()
             .enumerate()
-            .min_by_key(|(i, l)| (l.live, u64::MAX - l.gpu_free_tokens, *i))
+            .min_by_key(|(i, l)| {
+                (
+                    l.live,
+                    l.pending_prefill_tokens,
+                    u64::MAX - l.gpu_free_tokens,
+                    *i,
+                )
+            })
             .map(|(i, _)| i)
             .expect("non-empty replica set")
     }
@@ -121,7 +135,14 @@ impl RateAwareRouter {
         // Queued transfers signal a replica already rotating its working
         // set; weight them like extra pressure.
         let churn = (load.d2h_queue_len + load.h2d_queue_len) as f64 * 0.01;
-        demand * (1.0 + pressure + churn)
+        // The pending prefill backlog is admission pressure the resident
+        // counters miss: at an epoch barrier a burst's prompts are queued,
+        // not yet running, and every backlog token delays the new
+        // request's own prefill. 0.01 tok/s of score per queued token
+        // keeps the term comparable to demand (a 1k-token queued prompt
+        // weighs like a 10 tok/s stream).
+        let backlog = load.pending_prefill_tokens as f64 * 0.01;
+        demand * (1.0 + pressure + churn) + backlog
     }
 }
 
@@ -158,6 +179,7 @@ mod tests {
             gpu_total_tokens: 100_000,
             d2h_queue_len: 0,
             h2d_queue_len: 0,
+            pending_prefill_tokens: 0,
         }
     }
 
@@ -191,6 +213,26 @@ mod tests {
         let mut r = LeastLoadedRouter::new();
         let loads = vec![load(2, 0.0, 100), load(2, 0.0, 900), load(2, 0.0, 900)];
         assert_eq!(r.route(&spec(10.0), &loads), 1);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_prefill_backlog() {
+        let mut r = LeastLoadedRouter::new();
+        // Equal live counts; replica 0 has a deep admission queue.
+        let mut a = load(3, 0.0, 900);
+        a.pending_prefill_tokens = 4_096;
+        let b = load(3, 0.0, 100);
+        assert_eq!(r.route(&spec(10.0), &[a, b]), 1);
+    }
+
+    #[test]
+    fn rate_aware_avoids_deep_prefill_backlog() {
+        let mut r = RateAwareRouter::new();
+        // Equal demand and memory; replica 0's admission queue is deep.
+        let mut a = load(4, 100.0, 50_000);
+        a.pending_prefill_tokens = 8_192;
+        let b = load(4, 100.0, 50_000);
+        assert_eq!(r.route(&spec(15.0), &[a, b]), 1);
     }
 
     #[test]

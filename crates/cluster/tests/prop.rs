@@ -1,15 +1,18 @@
 //! Property tests: routing conservation across random workloads, replica
-//! counts, and routing policies.
+//! counts, routing policies, and *executors*.
 //!
 //! The conservation contract: every submitted request lands on exactly
 //! one replica, and the merged report's counts equal the sum of the
 //! per-replica counts — no request is dropped, duplicated, or
-//! double-counted by the cluster layer.
+//! double-counted by the cluster layer. Every case runs under both the
+//! sequential and the parallel epoch executor, and the two runs must be
+//! byte-identical — the executor choice is not allowed to touch a single
+//! routing decision, record, or merged statistic.
 
 use proptest::prelude::*;
 
 use tokenflow_cluster::{
-    run_cluster, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
+    run_cluster_with, Execution, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
 };
 use tokenflow_core::EngineConfig;
 use tokenflow_metrics::RunReport;
@@ -65,14 +68,37 @@ proptest! {
     ) {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
             .with_max_batch(8);
-        let out = run_cluster(
+        let out = run_cluster_with(
+            config.clone(),
+            replicas,
+            router(which_router),
+            || scheduler(which_sched),
+            &w,
+            Execution::Sequential,
+        );
+        prop_assert!(out.complete);
+
+        // Executor invariance: the same run on parallel workers must be
+        // byte-identical — same assignments, same per-replica records,
+        // same merged report.
+        let par = run_cluster_with(
             config,
             replicas,
             router(which_router),
             || scheduler(which_sched),
             &w,
+            Execution::parallel(2),
         );
-        prop_assert!(out.complete);
+        prop_assert_eq!(&out.assignments, &par.assignments);
+        prop_assert_eq!(&out.merged, &par.merged);
+        prop_assert_eq!(
+            format!("{:?}", out.merged),
+            format!("{:?}", par.merged)
+        );
+        for (x, y) in out.replicas.iter().zip(&par.replicas) {
+            prop_assert_eq!(&x.records, &y.records);
+            prop_assert_eq!(x.iterations, y.iterations);
+        }
 
         // One assignment per submitted request, each to a valid replica.
         prop_assert_eq!(out.assignments.len(), w.len());

@@ -25,9 +25,11 @@ pub(crate) fn ingest_arrivals(
         st.live_count += 1;
         // Requests cannot leave WaitingNew before they arrive (the
         // scheduler only ever sees arrived requests), so each arrival
-        // joins the waiting pool.
+        // joins the waiting pool and its whole prompt joins the prefill
+        // backlog.
         debug_assert_eq!(st.state(entry.event).phase, Phase::WaitingNew);
         st.waiting_count += 1;
+        st.prefill_backlog_tokens += st.state(entry.event).context_tokens();
     }
 }
 
@@ -117,11 +119,15 @@ pub(crate) fn build_ctx(
 fn admit_prefill(st: &mut EngineState, kv: &mut KvManager, id: RequestId) {
     let phase = st.state(id).phase;
     match phase {
+        // A waiting request's context is already counted in the prefill
+        // backlog; admission keeps it there (target − done is unchanged).
         Phase::WaitingNew => st.waiting_count -= 1,
         Phase::OnCpu => {
-            // Recompute path: drop the host copy and re-prefill.
+            // Recompute path: drop the host copy and re-prefill. The
+            // context re-enters the prefill backlog.
             kv.drop_kv(id);
             st.state_mut(id).metrics.recomputes += 1;
+            st.prefill_backlog_tokens += st.state(id).context_tokens();
         }
         _ => return, // stale action; ignore
     }
@@ -150,8 +156,10 @@ pub(crate) fn apply_preempt(
         kv.drop_kv(id);
         st.state_mut(id).phase = Phase::WaitingNew;
         // A discarded victim was running, hence arrived: it rejoins the
-        // waiting pool until the scheduler re-admits its recompute.
+        // waiting pool (and the prefill backlog, with its full recompute
+        // context) until the scheduler re-admits its recompute.
         st.waiting_count += 1;
+        st.prefill_backlog_tokens += st.state(id).context_tokens();
     };
     match mode {
         PreemptMode::Discard => discard(st, kv, id),

@@ -134,8 +134,15 @@ fn decode_blocks_needed(kv: &KvManager, decode: &[RequestId], bt: u64) -> u64 {
 
 /// Memory pre-check: makes room for decode appends plus completing
 /// prefills, first through the scheduler's emergency-reclaim path, then by
-/// deferring completing prefills, then by shedding decode members
-/// (largest buffer first) until the remainder fits.
+/// deferring completing prefills, then by shedding decode members until
+/// the remainder fits.
+///
+/// Only *block-boundary* members (context a multiple of the block size,
+/// so this iteration's token needs a fresh block) are shed candidates:
+/// a mid-block member's append lands in an already-allocated block, so
+/// dropping it frees nothing — its tokens keep flowing. Among candidates,
+/// the largest client buffer goes first (its reader is furthest from
+/// stalling), ties breaking toward the latest id.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn fit_memory(
     batch: &mut IterationBatch,
@@ -158,30 +165,43 @@ pub(crate) fn fit_memory(
     if kv.gpu_free_tokens() / bt < needed
         && !admission::emergency_reclaim(st, kv, scheduler, cost, config, profs, needed, now)
     {
-        // Defer completing prefills first.
-        if completing_blocks > 0 {
+        // A failed reclaim may still have preempted members (phases left
+        // Running, KV gone — their context reads 0, a block-size
+        // multiple) and freed memory before running out of victims:
+        // re-anchor the batch and the block need on the survivors so
+        // preempted members cannot become phantom shed candidates.
+        batch
+            .decode
+            .retain(|&id| st.state(id).phase == Phase::Running);
+        needed = decode_blocks_needed(kv, &batch.decode, bt) + completing_blocks;
+        // Defer completing prefills next (when they still do not fit).
+        if completing_blocks > 0 && kv.gpu_free_tokens() / bt < needed {
             batch.prefill.clear();
             needed = decode_blocks_needed(kv, &batch.decode, bt);
         }
-        // Then shed decode members (largest buffer first) until the
-        // remainder fits. Occupancies are stable across shed rounds, so
+        // Then shed block-boundary decode members (largest buffer first)
+        // until the remainder fits; mid-block members need no new memory
+        // and keep decoding. Occupancies are stable across shed rounds, so
         // snapshot them once. (Buffers were already advanced to `now` by
         // the admission stage's context snapshots, so this mutating read
-        // changes no state.)
-        let mut occupancy: Vec<u64> = batch
+        // changes no state.) Every shed candidate accounts for exactly one
+        // needed block, so `needed` decrements with each shed and the loop
+        // ends with either a fit or zero boundary members left.
+        let mut candidates: Vec<(RequestId, u64)> = batch
             .decode
             .iter()
-            .map(|&id| st.state_mut(id).buffer.buffered(now))
+            .filter(|&&id| kv.context_tokens(id).is_multiple_of(bt))
+            .map(|&id| (id, st.state_mut(id).buffer.buffered(now)))
             .collect();
-        while kv.gpu_free_tokens() / bt < needed && !batch.decode.is_empty() {
-            let (pos, _) = occupancy
+        while kv.gpu_free_tokens() / bt < needed && !candidates.is_empty() {
+            let (pos, _) = candidates
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| a.cmp(b))
-                .expect("non-empty decode batch");
-            batch.decode.remove(pos);
-            occupancy.remove(pos);
-            needed = decode_blocks_needed(kv, &batch.decode, bt);
+                .max_by_key(|(_, &(id, occ))| (occ, id))
+                .expect("non-empty candidate set");
+            let (victim, _) = candidates.remove(pos);
+            batch.decode.retain(|&id| id != victim);
+            needed -= 1;
         }
     }
 
@@ -217,4 +237,233 @@ pub(crate) fn price(
     };
     let time = cost.iteration_time(&spec);
     (spec, time)
+}
+
+#[cfg(test)]
+mod tests {
+    use tokenflow_client::TokenBuffer;
+    use tokenflow_kv::{KvConfig, KvManager};
+    use tokenflow_metrics::RequestMetrics;
+    use tokenflow_model::{HardwareProfile, ModelProfile};
+    use tokenflow_sched::{SchedContext, SchedPlan};
+    use tokenflow_workload::{ClientKind, RequestSpec};
+
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::state::ReqState;
+
+    /// A scheduler whose emergency path never finds a victim, forcing
+    /// `fit_memory` onto the shed path under test.
+    struct NoVictim;
+    impl Scheduler for NoVictim {
+        fn name(&self) -> &'static str {
+            "no-victim"
+        }
+        fn plan(&mut self, _ctx: &SchedContext) -> SchedPlan {
+            SchedPlan::none()
+        }
+        fn emergency_victim(&self, _ctx: &SchedContext) -> Option<RequestId> {
+            None
+        }
+    }
+
+    /// One running request with `context` tokens of GPU-resident KV and
+    /// `buffered` tokens sitting in its client buffer at t = 0.
+    fn running(st: &mut EngineState, kv: &mut KvManager, context: u64, buffered: u64) -> RequestId {
+        let id = RequestId(st.requests.len() as u64);
+        let mut buffer = TokenBuffer::new(20.0);
+        for _ in 0..buffered {
+            buffer.on_token(SimTime::ZERO);
+        }
+        st.requests.push(ReqState {
+            spec: RequestSpec {
+                id,
+                arrival: SimTime::ZERO,
+                prompt_tokens: context,
+                output_tokens: 64,
+                rate: 20.0,
+            },
+            kind: ClientKind::Interactive,
+            buffer,
+            metrics: RequestMetrics::new(id, SimTime::ZERO, 20.0, 64),
+            phase: Phase::Running,
+            generated: 0,
+            prefill_done: context,
+            prefill_target: context,
+            timeline: None,
+        });
+        st.push_running(id);
+        kv.on_prefill(id, context, SimTime::ZERO).expect("fits");
+        id
+    }
+
+    /// The shed path must skip mid-block members entirely: evicting them
+    /// frees no memory, so even the largest-buffer member keeps decoding
+    /// when its next token lands in an already-allocated block.
+    #[test]
+    fn shed_skips_mid_block_members() {
+        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+        let bt = config.block_tokens as u64;
+        let mut kv = KvManager::new(KvConfig {
+            block_tokens: config.block_tokens,
+            gpu_blocks: 5,
+            cpu_blocks: 0,
+            kv_bytes_per_token: config.model.kv_bytes_per_token(),
+            chunk_tokens: 256,
+            write_through: false,
+            priority_writes: false,
+            offload_enabled: false,
+            load_evict_overlap: false,
+            pcie_bandwidth: 25e9,
+            pcie_latency_us: 10,
+        });
+        let mut st = EngineState::new();
+        // a: boundary (2 blocks), small buffer. b: mid-block (2 blocks),
+        // LARGEST buffer — the old rule's first victim. c: boundary
+        // (1 block), middling buffer.
+        let a = running(&mut st, &mut kv, 2 * bt, 2);
+        let b = running(&mut st, &mut kv, bt + 1, 9);
+        let c = running(&mut st, &mut kv, bt, 4);
+        assert_eq!(kv.gpu_free_tokens(), 0);
+
+        let mut batch = IterationBatch {
+            decode: vec![a, b, c],
+            prefill: Vec::new(),
+        };
+        let cost = config.cost_model();
+        let profs = EngineProfilers::new(1e-4, 1_000.0);
+        fit_memory(
+            &mut batch,
+            &mut st,
+            &mut kv,
+            &NoVictim,
+            &cost,
+            &config,
+            &profs,
+            SimTime::ZERO,
+        );
+        // Both boundary members need a fresh block and none is free, so
+        // both are shed — largest buffer (c) first is irrelevant here,
+        // but b must survive despite holding the largest buffer of all.
+        assert_eq!(batch.decode, vec![b]);
+    }
+
+    /// A scheduler that always names the same emergency victim: the first
+    /// reclaim call preempts it, the second finds it no longer Running and
+    /// gives up — a *partial* reclaim (some memory freed, then failure),
+    /// which is the path where stale `needed`/phantom candidates lurked.
+    struct StuckVictim(RequestId);
+    impl Scheduler for StuckVictim {
+        fn name(&self) -> &'static str {
+            "stuck-victim"
+        }
+        fn plan(&mut self, _ctx: &SchedContext) -> SchedPlan {
+            SchedPlan::none()
+        }
+        fn emergency_victim(&self, _ctx: &SchedContext) -> Option<RequestId> {
+            Some(self.0)
+        }
+    }
+
+    /// After a partially-successful emergency reclaim, preempted members
+    /// (whose KV context now reads 0 — a block-size multiple) must not
+    /// act as shed candidates: shedding one would decrement `needed`
+    /// without freeing anything, letting a genuine boundary member
+    /// through with no block to land its token in.
+    #[test]
+    fn shed_ignores_members_preempted_by_reclaim() {
+        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+        let bt = config.block_tokens as u64;
+        let mut kv = KvManager::new(KvConfig {
+            block_tokens: config.block_tokens,
+            gpu_blocks: 5,
+            cpu_blocks: 0,
+            kv_bytes_per_token: config.model.kv_bytes_per_token(),
+            chunk_tokens: 256,
+            write_through: false,
+            priority_writes: false,
+            offload_enabled: false,
+            load_evict_overlap: false,
+            pcie_bandwidth: 25e9,
+            pcie_latency_us: 10,
+        });
+        let mut st = EngineState::new();
+        // a, c: boundary members (2 blocks each). b: one block, largest
+        // buffer — the reclaim victim. Preempting b frees 1 block of the
+        // 2 needed, then reclaim fails (its victim is gone).
+        let a = running(&mut st, &mut kv, 2 * bt, 2);
+        let b = running(&mut st, &mut kv, 1, 9);
+        let c = running(&mut st, &mut kv, 2 * bt, 4);
+        assert_eq!(kv.gpu_free_tokens(), 0);
+
+        let mut batch = IterationBatch {
+            decode: vec![a, b, c],
+            prefill: Vec::new(),
+        };
+        let cost = config.cost_model();
+        let profs = EngineProfilers::new(1e-4, 1_000.0);
+        fit_memory(
+            &mut batch,
+            &mut st,
+            &mut kv,
+            &StuckVictim(b),
+            &cost,
+            &config,
+            &profs,
+            SimTime::ZERO,
+        );
+        // b is gone (preempted), and of the two boundary members the
+        // larger buffer (c) was shed; a keeps the one freed block. Were b
+        // treated as a candidate, its occupancy 9 would make it the first
+        // "shed" and both a and c would sail through needing 2 blocks
+        // with only 1 free.
+        assert_eq!(batch.decode, vec![a]);
+        assert_eq!(kv.gpu_free_tokens() / bt, 1);
+    }
+
+    /// When one block frees up, only the smaller-buffered boundary member
+    /// keeps its slot: candidates shed largest-buffer-first.
+    #[test]
+    fn shed_orders_boundary_candidates_by_buffer() {
+        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+        let bt = config.block_tokens as u64;
+        let mut kv = KvManager::new(KvConfig {
+            block_tokens: config.block_tokens,
+            gpu_blocks: 4,
+            cpu_blocks: 0,
+            kv_bytes_per_token: config.model.kv_bytes_per_token(),
+            chunk_tokens: 256,
+            write_through: false,
+            priority_writes: false,
+            offload_enabled: false,
+            load_evict_overlap: false,
+            pcie_bandwidth: 25e9,
+            pcie_latency_us: 10,
+        });
+        let mut st = EngineState::new();
+        // Three boundary members, one free block: the two largest buffers
+        // are shed, the smallest keeps decoding.
+        let big = running(&mut st, &mut kv, bt, 9);
+        let mid = running(&mut st, &mut kv, bt, 5);
+        let small = running(&mut st, &mut kv, bt, 1);
+        assert_eq!(kv.gpu_free_tokens(), bt);
+
+        let mut batch = IterationBatch {
+            decode: vec![big, mid, small],
+            prefill: Vec::new(),
+        };
+        let cost = config.cost_model();
+        let profs = EngineProfilers::new(1e-4, 1_000.0);
+        fit_memory(
+            &mut batch,
+            &mut st,
+            &mut kv,
+            &NoVictim,
+            &cost,
+            &config,
+            &profs,
+            SimTime::ZERO,
+        );
+        assert_eq!(batch.decode, vec![small]);
+    }
 }

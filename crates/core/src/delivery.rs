@@ -26,6 +26,7 @@ pub(crate) fn apply_prefill_progress(
     outcome: &mut StepOutcome,
 ) {
     for slice in &batch.prefill {
+        st.prefill_backlog_tokens = st.prefill_backlog_tokens.saturating_sub(slice.tokens);
         let s = st.state_mut(slice.id);
         s.prefill_done += slice.tokens;
         if slice.completes {
@@ -41,9 +42,11 @@ pub(crate) fn apply_prefill_progress(
                 }
                 Err(_) => {
                     // Lost the memory race: retry the final allocation
-                    // next iteration (progress is kept).
+                    // next iteration (progress is kept, so one token goes
+                    // back to the prefill backlog).
                     let s = st.state_mut(slice.id);
                     s.prefill_done = s.prefill_target.saturating_sub(1);
+                    st.prefill_backlog_tokens += 1;
                 }
             }
         }

@@ -31,6 +31,10 @@ use crate::profiler::EngineProfilers;
 use crate::state::{EngineLoad, EngineState, Phase, ReqState};
 use crate::{admission, batch, delivery, kv_orchestrator};
 
+// Evaluated at compile time: `Engine` must stay `Send` so the cluster's
+// parallel epoch executor can advance replicas on worker threads.
+const _: () = Engine::assert_send();
+
 /// What one engine step did.
 #[derive(Debug, Clone, Default)]
 pub struct StepOutcome {
@@ -197,6 +201,7 @@ impl Engine {
             gpu_total_tokens: self.kv.gpu_total_tokens(),
             d2h_queue_len: self.kv.io_queue_len(Direction::D2H),
             h2d_queue_len: self.kv.io_queue_len(Direction::H2D),
+            pending_prefill_tokens: self.st.prefill_backlog_tokens,
         }
     }
 
@@ -329,6 +334,34 @@ impl Engine {
         outcome
     }
 
+    /// Advances the engine until its clock reaches `deadline`, every
+    /// submitted request finishes, or the engine goes fully idle (nothing
+    /// submitted, nothing in flight). Returns whether every submitted
+    /// request has finished.
+    ///
+    /// This is the epoch-advance entry point the cluster executor drives:
+    /// between two arrival barriers a replica is advanced to the next
+    /// barrier time with exactly the same step semantics as
+    /// [`Engine::step`] in a hand-written loop, so sequential and parallel
+    /// cluster execution stay step-for-step identical. An engine whose
+    /// clock is already at or past `deadline` is left untouched.
+    pub fn step_until(&mut self, deadline: SimTime) -> bool {
+        loop {
+            if self.st.all_finished() && self.arrivals.is_empty() {
+                return true;
+            }
+            if self.clock.now() >= deadline {
+                return false;
+            }
+            // Every non-done step advances the clock (idle steps
+            // fast-forward at least one tick while work remains), so the
+            // loop terminates at the deadline.
+            if self.step().done {
+                return true;
+            }
+        }
+    }
+
     /// Runs until every submitted request completes (or the safety deadline
     /// or iteration cap trips). Returns whether the run completed.
     pub fn run_to_completion(&mut self) -> bool {
@@ -343,6 +376,17 @@ impl Engine {
                 return false;
             }
         }
+    }
+
+    /// Compile-time proof that whole replicas (engine + boxed scheduler)
+    /// can move across threads: the cluster's parallel epoch executor
+    /// hands `&mut Engine` to scoped workers, which requires `Engine:
+    /// Send`. Breaking it (e.g. an `Rc` in a scheduler) fails this fn.
+    #[doc(hidden)]
+    pub const fn assert_send()
+    where
+        Self: Send,
+    {
     }
 
     /// Finalises metrics and returns the outcome, consuming the engine.

@@ -95,6 +95,12 @@ pub(crate) struct EngineState {
     /// (tokens/second), maintained incrementally: added at submission,
     /// removed at completion.
     pub active_rate_sum: f64,
+    /// Prompt tokens queued for prefill but not yet prefilled, over
+    /// arrived requests: the full recompute context of every
+    /// [`Phase::WaitingNew`] request plus the unprocessed remainder of
+    /// every [`Phase::Prefilling`] one. Maintained incrementally by the
+    /// admission and delivery stages so load snapshots stay O(1).
+    pub prefill_backlog_tokens: u64,
 }
 
 impl EngineState {
@@ -159,4 +165,11 @@ pub struct EngineLoad {
     pub d2h_queue_len: usize,
     /// Host-to-device transfer queue depth.
     pub h2d_queue_len: usize,
+    /// Pending prefill backlog: queued prompt tokens not yet prefilled
+    /// (waiting requests' full recompute contexts plus in-flight prefills'
+    /// unprocessed remainders). Routers use it to see *admission
+    /// pressure* — work a new request must queue behind before its own
+    /// prefill — which resident-load counters miss entirely at an arrival
+    /// barrier.
+    pub pending_prefill_tokens: u64,
 }

@@ -252,4 +252,71 @@ fn load_snapshot_tracks_lifecycle() {
     assert_eq!(drained.running, 0);
     assert_eq!(drained.waiting, 0);
     assert_eq!(drained.rate_sum, 0.0);
+    assert_eq!(drained.pending_prefill_tokens, 0);
+}
+
+#[test]
+fn load_snapshot_tracks_prefill_backlog() {
+    let mut e = Engine::new(config().with_max_batch(4), FcfsScheduler::new());
+    // Submitted but not yet arrived: no admission pressure.
+    for _ in 0..4 {
+        e.submit(spec(500, 6_000, 20, 20.0));
+    }
+    assert_eq!(e.load_snapshot().pending_prefill_tokens, 0);
+    // Step past the arrivals: the four 6k prompts exceed one prefill
+    // iteration's budget, so the backlog is visible between steps and
+    // drains only as prefill tokens are actually processed.
+    let mut peak = 0;
+    loop {
+        let out = e.step();
+        peak = peak.max(e.load_snapshot().pending_prefill_tokens);
+        if out.done {
+            break;
+        }
+    }
+    assert!(peak >= 6_000, "peak backlog {peak}");
+    assert!(peak <= 4 * 6_000, "peak backlog {peak}");
+    assert_eq!(e.load_snapshot().pending_prefill_tokens, 0);
+}
+
+#[test]
+fn step_until_advances_to_deadline_and_completion() {
+    let mut e = Engine::new(config(), FcfsScheduler::new());
+    e.submit(spec(0, 128, 100, 10.0));
+    // A deadline mid-run leaves the request unfinished at (or just past)
+    // the boundary...
+    assert!(!e.step_until(SimTime::from_millis(200)));
+    assert!(e.now() >= SimTime::from_millis(200));
+    // ...re-entry makes no progress when already at the deadline...
+    let frozen = e.now();
+    assert!(!e.step_until(SimTime::from_millis(100)));
+    assert_eq!(e.now(), frozen);
+    // ...and a far deadline finishes the request with the clock frozen at
+    // completion, not the deadline.
+    assert!(e.step_until(SimTime::from_secs(3_600)));
+    assert!(e.now() < SimTime::from_secs(3_600));
+    let out = e.into_outcome();
+    assert_eq!(out.report.completed, 1);
+}
+
+#[test]
+fn step_until_equals_manual_stepping() {
+    let drive = |until: Vec<u64>| {
+        let mut e = Engine::new(config().with_max_batch(8), TokenFlowScheduler::new());
+        for i in 0..10 {
+            e.submit(spec(i * 40, 128, 64, 25.0));
+        }
+        for ms in until {
+            e.step_until(SimTime::from_millis(ms));
+        }
+        e.step_until(SimTime::from_secs(3_600));
+        e.into_outcome()
+    };
+    // Epoch slicing at arbitrary boundaries must not change a single
+    // record: step_until is a pure re-chunking of the same step stream.
+    let whole = drive(vec![]);
+    let sliced = drive(vec![50, 120, 121, 300, 2_000]);
+    assert_eq!(whole.report, sliced.report);
+    assert_eq!(whole.records, sliced.records);
+    assert_eq!(whole.iterations, sliced.iterations);
 }

@@ -22,6 +22,11 @@
 //! occupancy, memory and I/O state, profiled rates) and returns a
 //! [`SchedPlan`] of admissions, resumes, and preemptions, which the engine
 //! applies through the KV manager.
+//!
+//! [`Scheduler`] requires `Send` (policies are plain owned data), so an
+//! engine and its boxed policy can move to a worker thread — the cluster
+//! crate's parallel epoch executor advances whole replicas on
+//! `std::thread::scope` workers between arrival barriers.
 
 pub mod andes;
 pub mod api;

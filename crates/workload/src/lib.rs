@@ -22,7 +22,7 @@ pub mod presets;
 pub mod request;
 pub mod trace;
 
-pub use arrivals::ArrivalSpec;
+pub use arrivals::{ArrivalSpec, WorkloadGen};
 pub use dist::{LengthDist, RateDist};
 pub use presets::ControlledSetup;
 pub use request::{ClientKind, RequestSpec, Workload, WorkloadStats};

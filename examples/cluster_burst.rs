@@ -33,9 +33,12 @@ fn main() {
                 continue; // all policies coincide on a single replica
             }
             let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
+            // Replicas advance in parallel between arrival barriers; the
+            // executor choice cannot change a byte of the results.
             let mut cluster = ClusterEngine::new(config, replicas, router(which), || {
                 Box::new(TokenFlowScheduler::new())
-            });
+            })
+            .with_execution(Execution::parallel_auto());
             cluster.submit_workload(&workload);
             let complete = cluster.run_to_completion();
             let outcome = cluster.into_outcome();

@@ -97,7 +97,8 @@ pub use tokenflow_workload as workload;
 /// Convenience re-exports of the most common entry points.
 pub mod prelude {
     pub use tokenflow_cluster::{
-        ClusterEngine, ClusterOutcome, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
+        ClusterEngine, ClusterOutcome, Execution, LeastLoadedRouter, RateAwareRouter,
+        RoundRobinRouter, Router,
     };
     pub use tokenflow_core::{
         run_simulation, run_simulation_boxed, Engine, EngineConfig, EngineLoad, SimOutcome,
