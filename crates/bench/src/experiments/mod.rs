@@ -7,6 +7,7 @@
 //! numbers (the substrate is an analytical simulator, not the authors'
 //! testbed).
 
+pub mod autoscale;
 pub mod cluster;
 pub mod e2e;
 pub mod fleet;
@@ -126,6 +127,11 @@ pub fn all() -> Vec<Experiment> {
             id: "fleet",
             title: "Fleet scaling: 1-32 replicas, sequential vs parallel epoch execution",
             run: fleet::fleet,
+        },
+        Experiment {
+            id: "autoscale",
+            title: "Elastic fleet: replica-seconds vs static-32 at matched QoS",
+            run: autoscale::autoscale,
         },
     ]
 }

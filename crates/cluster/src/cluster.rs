@@ -1,10 +1,11 @@
-//! The cluster engine: N replicas, one simulated timeline, executed as a
-//! sequence of arrival-barrier epochs.
+//! The cluster engine: a dynamic replica set on one simulated timeline,
+//! executed as a sequence of arrival-barrier epochs.
 
 use std::collections::VecDeque;
 
-use tokenflow_core::{Engine, EngineConfig, SimOutcome};
-use tokenflow_metrics::{QosParams, RequestMetrics, RunReport};
+use tokenflow_control::{ControlConfig, ControlPlane, ScaleEvent, ScalePolicy};
+use tokenflow_core::{Engine, EngineConfig, EngineLoad, SimOutcome};
+use tokenflow_metrics::{FleetStats, RequestMetrics, RunReport};
 use tokenflow_sched::Scheduler;
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 use tokenflow_workload::{RequestSpec, Workload};
@@ -26,26 +27,44 @@ pub struct Assignment {
 /// Everything measured during one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterOutcome {
-    /// Per-replica outcomes, in replica order.
+    /// Per-replica outcomes, in replica order (including replicas the
+    /// control plane provisioned mid-run or retired early).
     pub replicas: Vec<SimOutcome>,
     /// Exact merged report, recomputed from every replica's per-request
     /// records over the cluster timeline (see
-    /// [`RunReport::from_records`]).
+    /// [`RunReport::from_records`]). Its `replica_seconds` is the true
+    /// fleet cost: `replicas × duration` for a static cluster, the
+    /// control plane's billing integral for an elastic one.
     pub merged: RunReport,
     /// Router decisions, in submission order.
     pub assignments: Vec<Assignment>,
     /// The routing policy's name.
     pub router: String,
+    /// The scale policy's name, when the cluster ran elastically.
+    pub policy: Option<String>,
+    /// Fleet-size timeline and cost accounting, when the cluster ran
+    /// elastically.
+    pub fleet: Option<FleetStats>,
+    /// The control plane's decision log (empty for static clusters).
+    pub scale_events: Vec<ScaleEvent>,
     /// Whether every replica ran its share to completion.
     pub complete: bool,
 }
 
-/// Drives N independent engine replicas on one simulated clock behind a
-/// pluggable [`Router`].
+/// The boxed scheduler factory a cluster keeps so the control plane can
+/// provision replicas mid-run.
+type SchedulerFactory = Box<dyn FnMut() -> Box<dyn Scheduler> + Send>;
+
+/// Drives a dynamic set of engine replicas on one simulated clock behind
+/// a pluggable [`Router`], optionally resized by a
+/// [`ControlPlane`](tokenflow_control::ControlPlane).
 ///
 /// Execution is a sequence of **arrival-barrier epochs**. At each barrier
-/// the coordinator routes the requests due at that instant (router
-/// decisions see each replica's live
+/// the coordinator first lets the control plane act (bill, promote
+/// booted replicas, retire drained ones, consult its
+/// [`ScalePolicy`] — elastic clusters only), then routes the requests
+/// due at that instant over the **active** replicas (router decisions
+/// see each active replica's live
 /// [`load_snapshot`](Engine::load_snapshot)); between barriers — up to
 /// the next arrival, or the final drain — replicas never observe each
 /// other, so each advances independently through
@@ -81,8 +100,11 @@ pub struct ClusterOutcome {
 /// assert_eq!(outcome.merged.completed, 1);
 /// ```
 pub struct ClusterEngine {
+    config: EngineConfig,
     replicas: Vec<Engine>,
     router: Box<dyn Router>,
+    scheduler_factory: SchedulerFactory,
+    plane: Option<ControlPlane>,
     execution: Execution,
     /// Undispatched requests, sorted by arrival (submission order).
     pending: VecDeque<RequestSpec>,
@@ -90,8 +112,6 @@ pub struct ClusterEngine {
     /// epoch (an idle replica counts as done until work is routed to it).
     done: Vec<bool>,
     assignments: Vec<Assignment>,
-    qos: QosParams,
-    deadline: SimDuration,
 }
 
 impl ClusterEngine {
@@ -108,7 +128,7 @@ impl ClusterEngine {
         config: EngineConfig,
         replicas: usize,
         router: impl Router + 'static,
-        mut scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
+        mut scheduler_factory: impl FnMut() -> Box<dyn Scheduler> + Send + 'static,
     ) -> Self {
         assert!(replicas > 0, "a cluster needs at least one replica");
         let engines: Vec<Engine> = (0..replicas)
@@ -118,11 +138,12 @@ impl ClusterEngine {
             done: vec![true; engines.len()],
             replicas: engines,
             router: Box::new(router),
+            scheduler_factory: Box::new(scheduler_factory),
+            plane: None,
             execution: Execution::Sequential,
             pending: VecDeque::new(),
             assignments: Vec::new(),
-            qos: config.qos,
-            deadline: config.deadline,
+            config,
         }
     }
 
@@ -134,12 +155,32 @@ impl ClusterEngine {
         self
     }
 
+    /// Makes the cluster elastic: a control plane bootstrapped with the
+    /// current fleet (all active) observes every arrival barrier and
+    /// resizes the replica set through `policy` — provisioning new
+    /// engines after `control.boot_delay`, draining and retiring surplus
+    /// ones. Call before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current fleet lies outside the configured bounds
+    /// (see [`ControlPlane::new`]).
+    pub fn with_autoscaler(
+        mut self,
+        policy: impl ScalePolicy + 'static,
+        control: ControlConfig,
+    ) -> Self {
+        self.plane = Some(ControlPlane::new(policy, control, self.replicas.len()));
+        self
+    }
+
     /// The current epoch execution strategy.
     pub fn execution(&self) -> Execution {
         self.execution
     }
 
-    /// Number of replicas.
+    /// Number of managed replicas (including provisioning, draining, and
+    /// retired ones on elastic clusters).
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
     }
@@ -147,6 +188,11 @@ impl ClusterEngine {
     /// The routing policy's name.
     pub fn router_name(&self) -> &'static str {
         self.router.name()
+    }
+
+    /// The scale policy's name, when the cluster is elastic.
+    pub fn policy_name(&self) -> Option<&'static str> {
+        self.plane.as_ref().map(|p| p.policy_name())
     }
 
     /// The cluster timeline: the furthest-behind replica that still has
@@ -191,34 +237,89 @@ impl ClusterEngine {
         }
     }
 
-    fn snapshots(&self) -> Vec<tokenflow_core::EngineLoad> {
-        self.replicas.iter().map(|e| e.load_snapshot()).collect()
+    /// Replicas currently eligible for dispatch: the control plane's
+    /// active set, or every replica on a static cluster.
+    fn active_indices(&self) -> Vec<usize> {
+        match &self.plane {
+            Some(plane) => plane.active_indices(),
+            None => (0..self.replicas.len()).collect(),
+        }
     }
 
-    /// Routes every pending request whose arrival is due by `t`. Runs on
-    /// the coordinator thread only — this is the barrier where replicas
-    /// become observable to each other (through their load snapshots).
+    /// Runs the control plane's barrier step at `t`: billing, promotion,
+    /// retirement, the scale decision over all replicas' snapshots plus
+    /// the arrival group due at `t`, and reconciliation (one fresh engine
+    /// per newly provisioned replica). Coordinator thread only.
+    fn control_barrier(&mut self, t: SimTime) {
+        let Some(plane) = self.plane.as_mut() else {
+            return;
+        };
+        let loads: Vec<EngineLoad> = self.replicas.iter().map(|e| e.load_snapshot()).collect();
+        let group: Vec<RequestSpec> = self
+            .pending
+            .iter()
+            .take_while(|s| s.arrival <= t)
+            .copied()
+            .collect();
+        // Post-deadline arrivals are still routed (conservation), but
+        // the plane must not observe instants the engines can never
+        // reach — billing replica-seconds across a frozen fleet would
+        // report a bill larger than the run itself.
+        let barrier_at = t.min(SimTime::ZERO + self.config.deadline);
+        plane.barrier(barrier_at, &loads, &group);
+        let target = plane.replica_count();
+        while self.replicas.len() < target {
+            self.replicas.push(Engine::from_boxed(
+                self.config.clone(),
+                (self.scheduler_factory)(),
+            ));
+            self.done.push(true);
+        }
+    }
+
+    /// Routes every pending request whose arrival is due by `t` over the
+    /// active replica set. Runs on the coordinator thread only — this is
+    /// the barrier where replicas become observable to each other
+    /// (through their load snapshots).
     fn dispatch_due(&mut self, t: SimTime) {
+        // The active set is pinned for the whole group: the plane only
+        // mutates at control_barrier, never mid-dispatch. Load
+        // snapshots are re-read per request (submissions change them).
+        let active = self.active_indices();
         while self.pending.front().is_some_and(|s| s.arrival <= t) {
             let spec = self.pending.pop_front().expect("front checked");
-            let loads = self.snapshots();
-            let replica = self.router.route(&spec, &loads);
-            assert!(replica < self.replicas.len(), "router index out of range");
+            assert!(
+                !active.is_empty(),
+                "no active replica to dispatch to (fleet floor must be >= 1)"
+            );
+            let loads: Vec<EngineLoad> = active
+                .iter()
+                .map(|&i| self.replicas[i].load_snapshot())
+                .collect();
+            let pick = self.router.route(&spec, &loads);
+            assert!(pick < active.len(), "router index out of range");
+            let replica = active[pick];
+            debug_assert!(
+                self.plane
+                    .as_ref()
+                    .is_none_or(|p| p.phases()[replica].accepts_dispatch()),
+                "dispatch to a non-active replica"
+            );
             let local_id = self.replicas[replica].submit(spec);
             self.assignments.push(Assignment { replica, local_id });
             self.done[replica] = false;
         }
     }
 
-    /// Runs one arrival-barrier epoch: dispatch the next due arrival
-    /// group at the barrier, then advance every busy replica — under the
-    /// configured [`Execution`] strategy — until the next barrier (the
-    /// following arrival time, or the safety deadline on the final
-    /// drain). Returns `false` once no further epoch can make progress:
-    /// everything is dispatched and finished, or every busy replica has
-    /// reached the deadline.
+    /// Runs one arrival-barrier epoch: let the control plane act at the
+    /// barrier, dispatch the next due arrival group, then advance every
+    /// busy replica — under the configured [`Execution`] strategy —
+    /// until the next barrier (the following arrival time, or the safety
+    /// deadline on the final drain). Returns `false` once no further
+    /// epoch can make progress: everything is dispatched and finished,
+    /// or every busy replica has reached the deadline.
     pub fn epoch(&mut self) -> bool {
-        let deadline = SimTime::ZERO + self.deadline;
+        let deadline = SimTime::ZERO + self.config.deadline;
         if self.pending.is_empty() && self.done.iter().all(|&d| d) {
             return false;
         }
@@ -228,6 +329,7 @@ impl ClusterEngine {
             // replica") holds on incomplete runs too, and the unreachable
             // requests materialise as unfinished records — exactly what a
             // single engine reports for work the cut-off strands.
+            self.control_barrier(arrival);
             self.dispatch_due(arrival);
         }
         let until = self
@@ -256,9 +358,23 @@ impl ClusterEngine {
 
     /// Finalises every replica and returns per-replica plus merged
     /// results, consuming the cluster.
-    pub fn into_outcome(self) -> ClusterOutcome {
+    pub fn into_outcome(mut self) -> ClusterOutcome {
+        // Terminal lifecycle barrier: replicas drained after the last
+        // arrival retire here (no scale decision — just bookkeeping).
+        if let Some(plane) = self.plane.as_mut() {
+            let end = self
+                .replicas
+                .iter()
+                .map(Engine::now)
+                .max()
+                .expect("non-empty replica set");
+            let loads: Vec<EngineLoad> = self.replicas.iter().map(|e| e.load_snapshot()).collect();
+            plane.close(end, &loads);
+        }
         let router = self.router.name().to_string();
+        let policy = self.plane.as_ref().map(|p| p.policy_name().to_string());
         let complete = self.pending.is_empty();
+        let replica_total = self.replicas.len();
         let replicas: Vec<SimOutcome> = self
             .replicas
             .into_iter()
@@ -276,19 +392,36 @@ impl ClusterEngine {
             .map(|o| o.sim_time)
             .max()
             .unwrap_or(SimDuration::ZERO);
-        let merged = RunReport::from_records(&all_records, duration, &self.qos);
+        let mut merged = RunReport::from_records(&all_records, duration, &self.config.qos);
+        let (fleet, scale_events) = match self.plane {
+            Some(plane) => {
+                // Close the billing integral at the cluster's end instant
+                // — the furthest any replica's clock reached.
+                let (stats, events) = plane.finalize(SimTime::ZERO + duration);
+                merged.replica_seconds = stats.replica_seconds;
+                (Some(stats), events)
+            }
+            None => {
+                // A static fleet bills every replica for the whole run.
+                merged.replica_seconds = replica_total as f64 * duration.as_secs_f64();
+                (None, Vec::new())
+            }
+        };
         ClusterOutcome {
             replicas,
             merged,
             assignments: self.assignments,
             router,
+            policy,
+            fleet,
+            scale_events,
             complete,
         }
     }
 }
 
-// Evaluated at compile time: a whole cluster (replicas + boxed router)
-// must stay movable across threads.
+// Evaluated at compile time: a whole cluster (replicas + boxed router +
+// scheduler factory + control plane) must stay movable across threads.
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<ClusterEngine>()
@@ -301,7 +434,7 @@ pub fn run_cluster(
     config: EngineConfig,
     replicas: usize,
     router: impl Router + 'static,
-    scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler> + Send + 'static,
     workload: &Workload,
 ) -> ClusterOutcome {
     run_cluster_with(
@@ -321,12 +454,35 @@ pub fn run_cluster_with(
     config: EngineConfig,
     replicas: usize,
     router: impl Router + 'static,
-    scheduler_factory: impl FnMut() -> Box<dyn Scheduler>,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler> + Send + 'static,
     workload: &Workload,
     execution: Execution,
 ) -> ClusterOutcome {
     let mut cluster =
         ClusterEngine::new(config, replicas, router, scheduler_factory).with_execution(execution);
+    cluster.submit_workload(workload);
+    cluster.run_to_completion();
+    cluster.into_outcome()
+}
+
+/// Runs a whole workload through a fresh **elastic** cluster:
+/// `bootstrap` replicas are live at time zero and `policy` resizes the
+/// fleet at every arrival barrier within `control`'s bounds. The
+/// execution strategy never changes results — scale decisions included.
+#[allow(clippy::too_many_arguments)]
+pub fn run_autoscaled(
+    config: EngineConfig,
+    bootstrap: usize,
+    router: impl Router + 'static,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler> + Send + 'static,
+    policy: impl ScalePolicy + 'static,
+    control: ControlConfig,
+    workload: &Workload,
+    execution: Execution,
+) -> ClusterOutcome {
+    let mut cluster = ClusterEngine::new(config, bootstrap, router, scheduler_factory)
+        .with_autoscaler(policy, control)
+        .with_execution(execution);
     cluster.submit_workload(workload);
     cluster.run_to_completion();
     cluster.into_outcome()

@@ -11,12 +11,23 @@
 //!   against each replica's capacity, the cluster-level analogue of the
 //!   paper's schedulability test).
 //! * [`cluster`] — the [`ClusterEngine`]: arrival-barrier epoch
-//!   execution. At each barrier the coordinator routes the requests due
-//!   at that instant; between barriers replicas never observe each other,
-//!   so each advances independently to the next barrier. The
+//!   execution over a **dynamic** replica set. At each barrier the
+//!   coordinator first lets the control plane act (elastic clusters
+//!   only), then routes the requests due at that instant over the
+//!   active replicas; between barriers replicas never observe each
+//!   other, so each advances independently to the next barrier. The
 //!   [`ClusterOutcome`] carries per-replica
 //!   [`SimOutcome`](tokenflow_core::SimOutcome)s plus an exact merged
-//!   [`RunReport`](tokenflow_metrics::RunReport).
+//!   [`RunReport`](tokenflow_metrics::RunReport), and — for elastic
+//!   runs — the fleet timeline, replica-seconds bill, and scale-event
+//!   log.
+//! * Elasticity plugs in through `tokenflow-control`: a
+//!   [`ScalePolicy`](tokenflow_control::ScalePolicy) consulted at every
+//!   barrier drives the `Provisioning → Active → Draining → Retired`
+//!   replica lifecycle ([`ClusterEngine::with_autoscaler`],
+//!   [`run_autoscaled`]). Routers only ever see the active mask;
+//!   draining replicas finish their residents and drop out of epoch
+//!   stepping once empty.
 //! * [`executor`] — how epochs run: [`Execution::Sequential`] walks the
 //!   replicas on the coordinator thread; [`Execution::Parallel`] slices
 //!   them across `std::thread::scope` workers. The strategy cannot change
@@ -37,9 +48,13 @@ pub mod cluster;
 pub mod executor;
 pub mod router;
 
-pub use cluster::{run_cluster, run_cluster_with, Assignment, ClusterEngine, ClusterOutcome};
+pub use cluster::{
+    run_autoscaled, run_cluster, run_cluster_with, Assignment, ClusterEngine, ClusterOutcome,
+};
 pub use executor::Execution;
-pub use router::{LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router};
+pub use router::{
+    BacklogAwareRouter, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
+};
 
 #[cfg(test)]
 mod tests {

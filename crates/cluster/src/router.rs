@@ -2,12 +2,17 @@
 //!
 //! A [`Router`] sees only [`EngineLoad`] snapshots — never engine
 //! internals — so routing policies stay decoupled from the serving
-//! pipeline and deterministic. Three built-in policies cover the classic
+//! pipeline and deterministic. Four built-in policies cover the classic
 //! spectrum:
 //!
 //! * [`RoundRobinRouter`] — load-oblivious rotation, the baseline.
 //! * [`LeastLoadedRouter`] — joins the replica with the fewest live
 //!   requests (join-shortest-queue).
+//! * [`BacklogAwareRouter`] — joins the replica with the smallest
+//!   pending prefill backlog (join-shortest-prefill-queue): TTFT-aware
+//!   dispatch that spreads a burst's prompt tokens instead of herding
+//!   onto cold replicas — essential once an elastic fleet activates
+//!   empty replicas mid-burst.
 //! * [`RateAwareRouter`] — QoS routing: balances *declared streaming
 //!   demand* (`Σ rᵢ`, the left side of the paper's schedulability test)
 //!   rather than request counts, scaled by each replica's KV headroom, so
@@ -100,6 +105,52 @@ impl Router for LeastLoadedRouter {
                 (
                     l.live,
                     l.pending_prefill_tokens,
+                    u64::MAX - l.gpu_free_tokens,
+                    *i,
+                )
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty replica set")
+    }
+}
+
+/// Join-shortest-prefill-queue: the replica with the smallest pending
+/// prefill backlog wins; ties break toward fewer live requests, then
+/// more free KV, then the lowest index.
+///
+/// This is TTFT-aware dispatch — the router-level analogue of
+/// admission-pressure autoscaling. A new request's first token waits
+/// behind every prompt token queued ahead of it, and under a burst the
+/// live-count key of [`LeastLoadedRouter`] herds arrivals onto the
+/// emptiest (often freshly provisioned, stone-cold) replica until its
+/// count catches up, serialising the whole burst's prefill there.
+/// Keying on the backlog spreads the burst's prompt tokens evenly
+/// instead: each dispatch lands on the replica where the request would
+/// start prefilling soonest. In backlog-free steady state the tie-break
+/// chain makes it behave like [`LeastLoadedRouter`].
+#[derive(Debug, Clone, Default)]
+pub struct BacklogAwareRouter;
+
+impl BacklogAwareRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        BacklogAwareRouter
+    }
+}
+
+impl Router for BacklogAwareRouter {
+    fn name(&self) -> &'static str {
+        "backlog-aware"
+    }
+
+    fn route(&mut self, _spec: &RequestSpec, loads: &[EngineLoad]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| {
+                (
+                    l.pending_prefill_tokens,
+                    l.live,
                     u64::MAX - l.gpu_free_tokens,
                     *i,
                 )
@@ -223,6 +274,30 @@ mod tests {
         a.pending_prefill_tokens = 4_096;
         let b = load(3, 0.0, 100);
         assert_eq!(r.route(&spec(10.0), &[a, b]), 1);
+    }
+
+    #[test]
+    fn backlog_aware_spreads_a_burst_by_prefill_queue() {
+        let mut r = BacklogAwareRouter::new();
+        // Replica 1 is stone-cold (0 live) but already took a slug of
+        // the burst; replica 0 is warm with an empty prefill queue.
+        // Live-count routing would keep herding onto replica 1 — the
+        // backlog key sends the next request to replica 0.
+        let mut cold = load(0, 0.0, 90_000);
+        cold.pending_prefill_tokens = 2_048;
+        let warm = load(12, 200.0, 40_000);
+        assert_eq!(r.route(&spec(10.0), &[warm, cold]), 0);
+    }
+
+    #[test]
+    fn backlog_aware_falls_back_to_live_then_memory() {
+        let mut r = BacklogAwareRouter::new();
+        // No backlog anywhere: fewest live wins.
+        let loads = vec![load(5, 0.0, 500), load(2, 0.0, 500), load(7, 0.0, 500)];
+        assert_eq!(r.route(&spec(10.0), &loads), 1);
+        // Backlog and live tied: more free KV wins.
+        let loads = vec![load(3, 0.0, 100), load(3, 0.0, 900)];
+        assert_eq!(r.route(&spec(10.0), &loads), 1);
     }
 
     #[test]

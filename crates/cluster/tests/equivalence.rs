@@ -11,20 +11,21 @@
 //! `f64` fails the suite.
 
 use tokenflow_cluster::{
-    run_cluster_with, ClusterOutcome, Execution, LeastLoadedRouter, RateAwareRouter,
-    RoundRobinRouter, Router,
+    run_cluster_with, BacklogAwareRouter, ClusterOutcome, Execution, LeastLoadedRouter,
+    RateAwareRouter, RoundRobinRouter, Router,
 };
 use tokenflow_core::EngineConfig;
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sched::{FcfsScheduler, Scheduler, TokenFlowScheduler};
 use tokenflow_workload::{ControlledSetup, RateDist, Workload};
 
-const ROUTERS: [&str; 3] = ["round-robin", "least-loaded", "rate-aware"];
+const ROUTERS: [&str; 4] = ["round-robin", "least-loaded", "backlog-aware", "rate-aware"];
 
 fn router(which: &str) -> Box<dyn Router> {
     match which {
         "round-robin" => Box::new(RoundRobinRouter::new()),
         "least-loaded" => Box::new(LeastLoadedRouter::new()),
+        "backlog-aware" => Box::new(BacklogAwareRouter::new()),
         _ => Box::new(RateAwareRouter::new()),
     }
 }

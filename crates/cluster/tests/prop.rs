@@ -12,7 +12,11 @@
 use proptest::prelude::*;
 
 use tokenflow_cluster::{
-    run_cluster_with, Execution, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
+    run_autoscaled, run_cluster_with, BacklogAwareRouter, Execution, LeastLoadedRouter,
+    RateAwareRouter, RoundRobinRouter, Router,
+};
+use tokenflow_control::{
+    ControlConfig, PredictivePolicy, ReactivePolicy, ScalePolicy, ScriptedPolicy,
 };
 use tokenflow_core::EngineConfig;
 use tokenflow_metrics::RunReport;
@@ -41,9 +45,10 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
 }
 
 fn router(which: u8) -> Box<dyn Router> {
-    match which % 3 {
+    match which % 4 {
         0 => Box::new(RoundRobinRouter::new()),
         1 => Box::new(LeastLoadedRouter::new()),
+        2 => Box::new(BacklogAwareRouter::new()),
         _ => Box::new(RateAwareRouter::new()),
     }
 }
@@ -56,6 +61,18 @@ fn scheduler(which: u8) -> Box<dyn Scheduler> {
     }
 }
 
+fn scale_policy(which: u8) -> Box<dyn ScalePolicy> {
+    match which % 3 {
+        0 => Box::new(ReactivePolicy::new()),
+        1 => Box::new(PredictivePolicy::with_tau(15.0)),
+        _ => Box::new(ScriptedPolicy::new(vec![
+            (SimTime::ZERO, 2),
+            (SimTime::from_millis(600), 4),
+            (SimTime::from_millis(1_400), 1),
+        ])),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -63,7 +80,7 @@ proptest! {
     fn every_request_lands_on_exactly_one_replica(
         w in arb_workload(),
         replicas in 1usize..5,
-        which_router in 0u8..3,
+        which_router in 0u8..4,
         which_sched in 0u8..2,
     ) {
         let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
@@ -72,7 +89,7 @@ proptest! {
             config.clone(),
             replicas,
             router(which_router),
-            || scheduler(which_sched),
+            move || scheduler(which_sched),
             &w,
             Execution::Sequential,
         );
@@ -85,7 +102,7 @@ proptest! {
             config,
             replicas,
             router(which_router),
-            || scheduler(which_sched),
+            move || scheduler(which_sched),
             &w,
             Execution::parallel(2),
         );
@@ -141,5 +158,80 @@ proptest! {
         prop_assert_eq!(summary_merged.stall_events, out.merged.stall_events);
         prop_assert_eq!(summary_merged.preemptions, out.merged.preemptions);
         prop_assert_eq!(summary_merged.duration, out.merged.duration);
+    }
+}
+
+// The control-plane analogue of executor invariance: for every shipped
+// scale policy, the decision log, fleet accounting, and final reports
+// are byte-identical under sequential and parallel epoch execution —
+// and conservation (one replica per request, dispatched only while that
+// replica was active) still holds on an elastic fleet.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_scale_policy_is_executor_invariant(
+        w in arb_workload(),
+        bootstrap in 1usize..4,
+        which_policy in 0u8..3,
+        which_router in 0u8..4,
+    ) {
+        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
+            .with_max_batch(8);
+        let control = ControlConfig::for_engine(&config)
+            .with_gamma(150.0)
+            .with_min_replicas(1)
+            .with_max_replicas(6)
+            .with_boot_delay(tokenflow_sim::SimDuration::from_millis(500))
+            .with_cooldown(tokenflow_sim::SimDuration::ZERO);
+        let run = |execution: Execution| {
+            run_autoscaled(
+                config.clone(),
+                bootstrap,
+                router(which_router),
+                || Box::new(TokenFlowScheduler::new()),
+                scale_policy(which_policy),
+                control.clone(),
+                &w,
+                execution,
+            )
+        };
+        let seq = run(Execution::Sequential);
+        let par = run(Execution::parallel(3));
+        prop_assert!(seq.complete);
+
+        // Byte-identical elastic outcomes: routing, scaling, accounting.
+        prop_assert_eq!(&seq.assignments, &par.assignments);
+        prop_assert_eq!(&seq.scale_events, &par.scale_events);
+        prop_assert_eq!(&seq.fleet, &par.fleet);
+        prop_assert_eq!(&seq.merged, &par.merged);
+        prop_assert_eq!(
+            format!("{:?}{:?}", seq.merged, seq.scale_events),
+            format!("{:?}{:?}", par.merged, par.scale_events)
+        );
+        prop_assert_eq!(seq.replicas.len(), par.replicas.len());
+        for (x, y) in seq.replicas.iter().zip(&par.replicas) {
+            prop_assert_eq!(&x.records, &y.records);
+            prop_assert_eq!(x.iterations, y.iterations);
+        }
+
+        // Conservation still holds with a dynamic fleet.
+        prop_assert_eq!(seq.assignments.len(), w.len());
+        prop_assert_eq!(seq.merged.submitted, w.len());
+        prop_assert_eq!(seq.merged.completed, w.len());
+        let mut per_replica = vec![0usize; seq.replicas.len()];
+        for a in &seq.assignments {
+            prop_assert!(a.replica < seq.replicas.len());
+            prop_assert_eq!(a.local_id, RequestId(per_replica[a.replica] as u64));
+            per_replica[a.replica] += 1;
+        }
+        // The bill is consistent: at least min-fleet × duration (one
+        // active replica always bills), at most ceiling × duration
+        // (billable replicas never exceed max_replicas).
+        let fleet = seq.fleet.as_ref().expect("elastic run has fleet stats");
+        prop_assert_eq!(seq.merged.replica_seconds, fleet.replica_seconds);
+        let dur = seq.merged.duration.as_secs_f64();
+        prop_assert!(seq.merged.replica_seconds >= dur - 1e-9);
+        prop_assert!(seq.merged.replica_seconds <= 6.0 * dur + 1e-9);
     }
 }

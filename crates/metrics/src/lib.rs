@@ -15,13 +15,17 @@
 //!   utilisation) for the Figure 14/15 temporal plots.
 //! * [`timeline`] — per-request cumulative token timelines for the
 //!   Figure 18/19 visualisations.
+//! * [`fleet`] — fleet-size timelines and replica-seconds cost
+//!   accounting for elastic (autoscaled) cluster runs.
 
+pub mod fleet;
 pub mod record;
 pub mod report;
 pub mod timeline;
 pub mod timeseries;
 pub mod weights;
 
+pub use fleet::FleetStats;
 pub use record::RequestMetrics;
 pub use report::{percentile, RunReport, Summary};
 pub use timeline::TokenTimeline;

@@ -120,6 +120,11 @@ pub struct RunReport {
     /// Mean per-request generation rate over completed requests,
     /// tokens/second.
     pub mean_generation_rate: f64,
+    /// Serving cost: billable replicas × seconds. A single-engine run
+    /// bills one replica for the whole duration; cluster merges sum their
+    /// parts, and elastic clusters overwrite this with the control
+    /// plane's exact integral (see `tokenflow-metrics`' `FleetStats`).
+    pub replica_seconds: f64,
 }
 
 impl RunReport {
@@ -161,6 +166,7 @@ impl RunReport {
             } else {
                 gen_rates.iter().sum::<f64>() / gen_rates.len() as f64
             },
+            replica_seconds: duration.as_secs_f64(),
         }
     }
 
@@ -214,6 +220,7 @@ impl RunReport {
             } else {
                 rate_weight / completed as f64
             },
+            replica_seconds: reports.iter().map(|r| r.replica_seconds).sum(),
         }
     }
 }
@@ -346,6 +353,27 @@ mod tests {
         assert_eq!(m.completed, exact.completed);
         assert!((m.throughput - exact.throughput).abs() < 1e-9);
         assert!((m.effective_throughput - exact.effective_throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_seconds_default_to_duration_and_sum_on_merge() {
+        let qos = QosParams::default();
+        let a = RunReport::from_records(
+            &[record(0, 500, 600, 500.0)],
+            SimDuration::from_secs(10),
+            &qos,
+        );
+        assert_eq!(a.replica_seconds, 10.0);
+        let b = RunReport::from_records(
+            &[record(0, 700, 1_000, 900.0)],
+            SimDuration::from_secs(20),
+            &qos,
+        );
+        // Two replicas that ran 10 s and 20 s cost 30 replica-seconds even
+        // though the merged wall-clock is only 20 s.
+        let m = RunReport::merged([&a, &b]);
+        assert_eq!(m.replica_seconds, 30.0);
+        assert_eq!(m.duration, SimDuration::from_secs(20));
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod trace;
 
 pub use arrivals::{ArrivalSpec, WorkloadGen};
 pub use dist::{LengthDist, RateDist};
-pub use presets::ControlledSetup;
+pub use presets::{diurnal_flash_crowd, ControlledSetup};
 pub use request::{ClientKind, RequestSpec, Workload, WorkloadStats};

@@ -277,6 +277,59 @@ pub fn industrial_trace(peak_rate: f64, duration: SimDuration, rate: RateDist) -
     }
 }
 
+/// The autoscaling stress preset: a sinusoidal (diurnal) base rate with
+/// a flash crowd superimposed at `crowd_at`.
+///
+/// This is the workload an elastic fleet must get right twice over: the
+/// slow diurnal swell rewards draining replicas through the trough,
+/// while the flash crowd punishes any fleet that cannot grow faster
+/// than its prefill backlog. Built compositionally —
+/// [`industrial_trace`]-style diurnal arrivals, plus a burst generated
+/// at time zero and [`Workload::offset`] into place, merged on one
+/// timeline — with short chat-turn lengths so fleet sweeps stay cheap.
+pub fn diurnal_flash_crowd(
+    peak_rate: f64,
+    duration: SimDuration,
+    crowd_size: u32,
+    crowd_at: SimTime,
+    rate: RateDist,
+    seed: u64,
+) -> Workload {
+    let lengths = |mean: u64| LengthDist::Normal {
+        mean: mean as f64,
+        std: mean as f64 / 4.0,
+        min: 16,
+        max: mean * 4,
+    };
+    let base = WorkloadGen {
+        arrivals: ArrivalSpec::Diurnal {
+            trough_rate: peak_rate * 0.1,
+            peak_rate,
+            period: duration,
+            duration,
+        },
+        prompt: lengths(256),
+        output: lengths(512),
+        rate: rate.clone(),
+    }
+    .generate(seed);
+    let crowd = WorkloadGen {
+        arrivals: ArrivalSpec::Burst {
+            size: crowd_size,
+            at: SimTime::ZERO,
+        },
+        prompt: lengths(256),
+        output: lengths(512),
+        rate,
+    }
+    // Decorrelate the crowd's samples from the base trace's.
+    .generate(seed ^ 0x9e37_79b9_7f4a_7c15);
+    Workload::merge(vec![
+        base,
+        crowd.offset(crowd_at.saturating_since(SimTime::ZERO)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +414,41 @@ mod tests {
             "peak {}",
             s.peak_arrivals_per_sec
         );
+    }
+
+    #[test]
+    fn diurnal_flash_crowd_superimposes_burst_on_diurnal_base() {
+        let duration = SimDuration::from_secs(600);
+        let crowd_at = SimTime::from_secs(150);
+        let w = diurnal_flash_crowd(2.0, duration, 80, crowd_at, RateDist::Fixed(15.0), 7);
+        // The crowd dominates any one-second window.
+        assert!(w.stats().peak_arrivals_per_sec >= 80);
+        // Exactly the crowd arrives at the crowd instant.
+        let at_crowd = w.iter().filter(|s| s.arrival == crowd_at).count();
+        assert_eq!(at_crowd, 80);
+        // The diurnal base is present on both sides of the crowd.
+        assert!(w.iter().any(|s| s.arrival < crowd_at));
+        assert!(w.iter().any(|s| s.arrival > crowd_at));
+        // Composition preserves the workload id contract.
+        for (i, s) in w.iter().enumerate() {
+            assert_eq!(s.id, tokenflow_sim::RequestId(i as u64));
+        }
+    }
+
+    #[test]
+    fn diurnal_flash_crowd_is_deterministic() {
+        let gen = |seed| {
+            diurnal_flash_crowd(
+                3.0,
+                SimDuration::from_secs(300),
+                40,
+                SimTime::from_secs(60),
+                RateDist::Uniform { lo: 8.0, hi: 24.0 },
+                seed,
+            )
+        };
+        assert_eq!(gen(11), gen(11));
+        assert_ne!(gen(11), gen(12));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Request specifications and workloads.
 
 use serde::{Deserialize, Serialize};
-use tokenflow_sim::{RequestId, SimTime};
+use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
 /// Who consumes the stream (paper §8, "Handles Different Client Types").
 ///
@@ -99,6 +99,14 @@ pub struct Workload {
 
 impl Workload {
     /// Builds a workload, sorting by arrival time and renumbering ids.
+    ///
+    /// **Id contract:** incoming ids are ignored. Construction stably
+    /// sorts by arrival (ties keep their input order) and reassigns ids
+    /// densely, so `specs[i].id == RequestId(i)` holds afterwards — a
+    /// workload saved to a trace and replayed therefore reproduces its
+    /// ids exactly. Every composition helper ([`Workload::merge`],
+    /// [`Workload::offset`]) goes through this constructor and inherits
+    /// the contract.
     pub fn new(mut specs: Vec<RequestSpec>) -> Self {
         specs.sort_by_key(|s| s.arrival);
         for (i, s) in specs.iter_mut().enumerate() {
@@ -136,10 +144,28 @@ impl Workload {
         &self.specs
     }
 
-    /// Merges several workloads into one timeline.
+    /// Merges several workloads into one timeline (re-sorted and
+    /// re-numbered per the [`Workload::new`] id contract).
     pub fn merge(parts: Vec<Workload>) -> Workload {
         let specs = parts.into_iter().flat_map(|w| w.specs).collect();
         Workload::new(specs)
+    }
+
+    /// Returns a copy with every arrival shifted `delta` later. Relative
+    /// order (and therefore every id) is unchanged. Composition building
+    /// block: generate phases at time zero, offset each into place, then
+    /// [`merge`](Workload::merge) — the diurnal flash-crowd preset is
+    /// built exactly this way.
+    pub fn offset(&self, delta: SimDuration) -> Workload {
+        Workload::new(
+            self.specs
+                .iter()
+                .map(|s| RequestSpec {
+                    arrival: s.arrival.saturating_add(delta),
+                    ..*s
+                })
+                .collect(),
+        )
     }
 
     /// Computes summary statistics.
@@ -229,6 +255,54 @@ mod tests {
         let m = Workload::merge(vec![a, b]);
         assert_eq!(m.len(), 3);
         assert_eq!(m.get(RequestId(1)).prompt_tokens, 2);
+    }
+
+    #[test]
+    fn merge_keeps_arrivals_sorted_and_ids_dense() {
+        let a = Workload::new(vec![spec(500, 1, 1, 1.0), spec(100, 1, 1, 1.0)]);
+        let b = Workload::new(vec![spec(300, 2, 2, 1.0), spec(50, 2, 2, 1.0)]);
+        let m = Workload::merge(vec![a, b]);
+        let arrivals: Vec<SimTime> = m.iter().map(|s| s.arrival).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        assert_eq!(arrivals, sorted);
+        for (i, s) in m.iter().enumerate() {
+            assert_eq!(s.id, RequestId(i as u64));
+        }
+    }
+
+    #[test]
+    fn offset_shifts_arrivals_preserving_order_and_ids() {
+        let w = Workload::new(vec![
+            spec(0, 1, 1, 1.0),
+            spec(250, 2, 2, 2.0),
+            spec(900, 3, 3, 3.0),
+        ]);
+        let shifted = w.offset(SimDuration::from_millis(1_000));
+        assert_eq!(shifted.len(), w.len());
+        for (orig, moved) in w.iter().zip(shifted.iter()) {
+            assert_eq!(moved.id, orig.id);
+            assert_eq!(
+                moved.arrival.saturating_since(orig.arrival),
+                SimDuration::from_millis(1_000)
+            );
+            assert_eq!(moved.prompt_tokens, orig.prompt_tokens);
+            assert_eq!(moved.rate, orig.rate);
+        }
+    }
+
+    #[test]
+    fn offset_then_merge_composes_phases() {
+        // The composition pattern the diurnal flash-crowd preset uses: a
+        // burst generated at time zero lands mid-trace after an offset.
+        let base = Workload::new(vec![spec(0, 1, 1, 1.0), spec(2_000, 1, 1, 1.0)]);
+        let burst = Workload::new(vec![spec(0, 9, 9, 9.0), spec(0, 9, 9, 9.0)]);
+        let m = Workload::merge(vec![base.clone(), burst.offset(SimDuration::from_secs(1))]);
+        assert_eq!(m.len(), 4);
+        // The burst sits between the base arrivals, ids renumbered.
+        assert_eq!(m.get(RequestId(1)).prompt_tokens, 9);
+        assert_eq!(m.get(RequestId(2)).prompt_tokens, 9);
+        assert_eq!(m.get(RequestId(3)).arrival, SimTime::from_secs(2));
     }
 
     #[test]

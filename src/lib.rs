@@ -25,6 +25,10 @@
 //! * [`cluster`] — multi-replica serving: `ClusterEngine` drives N engine
 //!   replicas on one simulated timeline behind a pluggable `Router`
 //!   (round-robin, least-loaded, rate-aware QoS).
+//! * [`control`] — the elastic control plane: `ScalePolicy`
+//!   (reactive / EWMA-predictive / scripted) driving a deterministic
+//!   `Provisioning → Active → Draining → Retired` replica lifecycle at
+//!   arrival barriers, with replica-seconds cost accounting.
 //!
 //! [`Scheduler`]: sched::Scheduler
 //! [`run_simulation`]: core::run_simulation
@@ -86,6 +90,7 @@
 
 pub use tokenflow_client as client;
 pub use tokenflow_cluster as cluster;
+pub use tokenflow_control as control;
 pub use tokenflow_core as core;
 pub use tokenflow_kv as kv;
 pub use tokenflow_metrics as metrics;
@@ -97,8 +102,12 @@ pub use tokenflow_workload as workload;
 /// Convenience re-exports of the most common entry points.
 pub mod prelude {
     pub use tokenflow_cluster::{
-        ClusterEngine, ClusterOutcome, Execution, LeastLoadedRouter, RateAwareRouter,
-        RoundRobinRouter, Router,
+        run_autoscaled, ClusterEngine, ClusterOutcome, Execution, LeastLoadedRouter,
+        RateAwareRouter, RoundRobinRouter, Router,
+    };
+    pub use tokenflow_control::{
+        ControlConfig, ControlPlane, PredictivePolicy, ReactivePolicy, ReplicaPhase, ScaleDecision,
+        ScalePolicy, ScriptedPolicy,
     };
     pub use tokenflow_core::{
         run_simulation, run_simulation_boxed, Engine, EngineConfig, EngineLoad, SimOutcome,
