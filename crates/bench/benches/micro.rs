@@ -17,7 +17,8 @@ use tokenflow_client::TokenBuffer;
 use tokenflow_kv::{KvConfig, KvManager};
 use tokenflow_model::{CostModel, HardwareProfile, IterationSpec, ModelProfile};
 use tokenflow_sched::{
-    FcfsScheduler, ReqPhase, ReqView, SchedContext, Scheduler, TokenFlowScheduler,
+    FcfsScheduler, ReqPhase, ReqView, SchedContext, SchedContextBuilder, Scheduler,
+    TokenFlowScheduler,
 };
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
@@ -59,21 +60,19 @@ fn sched_ctx(n: u64) -> SchedContext {
             elastic: false,
         })
         .collect();
-    SchedContext {
-        now: SimTime::from_secs(100),
-        requests,
-        gpu_free_tokens: 10_000,
-        gpu_total_tokens: 200_000,
-        d2h_queue_len: 2,
-        h2d_queue_len: 1,
-        d2h_eta: SimDuration::from_millis(5),
-        h2d_eta: SimDuration::from_millis(3),
-        prefill_secs_per_token: 3e-5,
-        decode_throughput: 8_000.0,
-        pcie_bandwidth: 55e9,
-        kv_bytes_per_token: 131_072,
-        max_batch: 256,
-    }
+    SchedContextBuilder::new(SimTime::from_secs(100))
+        .requests(requests)
+        .memory(10_000, 200_000)
+        .io_state(
+            2,
+            1,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(3),
+        )
+        .profile(3e-5, 8_000.0)
+        .link(55e9, 131_072)
+        .max_batch(256)
+        .build()
 }
 
 fn bench_sched_plan() {

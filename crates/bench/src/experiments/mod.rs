@@ -11,6 +11,7 @@ pub mod autoscale;
 pub mod cluster;
 pub mod e2e;
 pub mod fleet;
+pub mod hotpath;
 pub mod kvmem;
 pub mod micro;
 pub mod sched_behavior;
@@ -132,6 +133,11 @@ pub fn all() -> Vec<Experiment> {
             id: "autoscale",
             title: "Elastic fleet: replica-seconds vs static-32 at matched QoS",
             run: autoscale::autoscale,
+        },
+        Experiment {
+            id: "hotpath",
+            title: "Engine hot path: steps/sec vs request population (O(live) gate)",
+            run: hotpath::hotpath,
         },
     ]
 }

@@ -112,6 +112,12 @@ pub struct ClusterEngine {
     /// epoch (an idle replica counts as done until work is routed to it).
     done: Vec<bool>,
     assignments: Vec<Assignment>,
+    /// Next synthetic control barrier, when the plane's
+    /// [`control_tick`](tokenflow_control::ControlConfig::control_tick)
+    /// is enabled: re-armed to `barrier + tick` at every barrier (real
+    /// or synthetic), so the plane's reaction latency during arrival
+    /// gaps is bounded by one tick.
+    next_tick: Option<SimTime>,
 }
 
 impl ClusterEngine {
@@ -143,6 +149,7 @@ impl ClusterEngine {
             execution: Execution::Sequential,
             pending: VecDeque::new(),
             assignments: Vec::new(),
+            next_tick: None,
             config,
         }
     }
@@ -170,6 +177,7 @@ impl ClusterEngine {
         policy: impl ScalePolicy + 'static,
         control: ControlConfig,
     ) -> Self {
+        self.next_tick = control.control_tick.map(|d| SimTime::ZERO + d);
         self.plane = Some(ControlPlane::new(policy, control, self.replicas.len()));
         self
     }
@@ -267,6 +275,9 @@ impl ClusterEngine {
         // report a bill larger than the run itself.
         let barrier_at = t.min(SimTime::ZERO + self.config.deadline);
         plane.barrier(barrier_at, &loads, &group);
+        // Re-arm the synthetic tick relative to this barrier, so ticks
+        // only fire when no real barrier happened for a whole interval.
+        self.next_tick = plane.config().control_tick.map(|d| barrier_at + d);
         let target = plane.replica_count();
         while self.replicas.len() < target {
             self.replicas.push(Engine::from_boxed(
@@ -323,7 +334,25 @@ impl ClusterEngine {
         if self.pending.is_empty() && self.done.iter().all(|&d| d) {
             return false;
         }
-        if let Some(arrival) = self.pending.front().map(|s| s.arrival) {
+        let next_arrival = self.pending.front().map(|s| s.arrival);
+        // A due control tick fires as a *synthetic* arrival barrier when
+        // the next real arrival is further away (or the trace has ended
+        // and replicas are still draining): the plane observes fresh
+        // load snapshots and may act, but nothing is dispatched. This
+        // bounds the plane's reaction latency in arrival gaps — without
+        // it a drain with no arrivals is invisible until run end.
+        // Ticks at or past the safety deadline never fire: the engines
+        // cannot reach those instants, and a tick that kept preempting a
+        // post-deadline arrival barrier would stall the epoch loop.
+        let due_tick = self.next_tick.filter(|&t| t < deadline);
+        let tick_due = match (due_tick, next_arrival) {
+            (Some(tick), Some(arrival)) => tick < arrival,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if tick_due {
+            self.control_barrier(due_tick.expect("tick_due checked"));
+        } else if let Some(arrival) = next_arrival {
             // Arrivals at or past the safety deadline are still routed:
             // conservation ("every submitted request lands on exactly one
             // replica") holds on incomplete runs too, and the unreachable
@@ -332,11 +361,18 @@ impl ClusterEngine {
             self.control_barrier(arrival);
             self.dispatch_due(arrival);
         }
-        let until = self
+        let mut until = self
             .pending
             .front()
             .map_or(deadline, |s| s.arrival)
             .min(deadline);
+        if let Some(tick) = self.next_tick {
+            // Replicas never advance past a scheduled tick, so the plane
+            // observes every tick instant with replica clocks at (not
+            // beyond) the barrier — the same contract real arrival
+            // barriers have.
+            until = until.min(tick);
+        }
         executor::advance_until(&mut self.replicas, &mut self.done, until, self.execution);
         // Another epoch can make progress while arrivals remain or some
         // busy replica still sits short of the deadline.
@@ -467,8 +503,12 @@ pub fn run_cluster_with(
 
 /// Runs a whole workload through a fresh **elastic** cluster:
 /// `bootstrap` replicas are live at time zero and `policy` resizes the
-/// fleet at every arrival barrier within `control`'s bounds. The
-/// execution strategy never changes results — scale decisions included.
+/// fleet at every arrival barrier within `control`'s bounds. When
+/// `control` enables a
+/// [`control_tick`](tokenflow_control::ControlConfig::control_tick),
+/// synthetic barriers at that interval keep the plane observing (and
+/// retiring drained replicas) through arrival gaps. The execution
+/// strategy never changes results — scale decisions included.
 #[allow(clippy::too_many_arguments)]
 pub fn run_autoscaled(
     config: EngineConfig,

@@ -222,6 +222,7 @@ mod tests {
             now: SimTime::ZERO,
             submitted: live,
             live,
+            arrived: live,
             waiting: 0,
             running: live,
             transitioning: 0,

@@ -302,6 +302,90 @@ fn post_deadline_arrivals_do_not_inflate_the_bill() {
 }
 
 #[test]
+fn control_tick_retires_idle_drain_within_one_tick() {
+    // One burst at t=0 and nothing after: the only *real* arrival
+    // barrier is t=0. The script drains replica 1 there (it never
+    // receives a dispatch, so it is empty immediately), and the
+    // residents of replica 0 stream for ~10 s. Without the periodic
+    // control tick the plane is blind for that whole drain — the empty
+    // replica is only retired (and stops billing) at the run's terminal
+    // barrier. With a 1 s tick it must retire within one tick of the
+    // drain decision.
+    let specs: Vec<RequestSpec> = (0..4)
+        .map(|_| RequestSpec {
+            id: RequestId(0),
+            arrival: SimTime::ZERO,
+            prompt_tokens: 64,
+            output_tokens: 128,
+            rate: 12.0,
+        })
+        .collect();
+    let w = Workload::new(specs);
+    let tick = SimDuration::from_secs(1);
+    let run_with = |control: ControlConfig, execution: Execution| {
+        run_autoscaled(
+            config(),
+            2,
+            LeastLoadedRouter::new(),
+            || Box::new(TokenFlowScheduler::new()),
+            ScriptedPolicy::new(vec![(SimTime::ZERO, 1)]),
+            control,
+            &w,
+            execution,
+        )
+    };
+    let base = control(300.0).with_min_replicas(1).with_max_replicas(2);
+    let ticked = run_with(base.clone().with_control_tick(tick), Execution::Sequential);
+    let blind = run_with(base, Execution::Sequential);
+    assert!(ticked.complete && blind.complete);
+
+    let retired_at = |out: &ClusterOutcome| -> SimTime {
+        out.scale_events
+            .iter()
+            .find(|e| e.kind == ScaleEventKind::Retired && e.replica == 1)
+            .expect("replica 1 must retire")
+            .at
+    };
+    // Ticked: retired within one tick of the t=0 drain decision.
+    assert!(
+        retired_at(&ticked) <= SimTime::ZERO + tick,
+        "tick left the drain unretired until {:?}",
+        retired_at(&ticked)
+    );
+    // Blind: the same retirement only happens at the terminal barrier —
+    // the run's end instant — long after the drain actually emptied.
+    let end = SimTime::ZERO + blind.merged.duration;
+    assert_eq!(
+        retired_at(&blind),
+        end,
+        "without a tick retirement should wait for run end"
+    );
+    assert!(
+        retired_at(&ticked) < retired_at(&blind),
+        "tick must retire strictly earlier than the terminal barrier"
+    );
+    // Stopping the bill ~10 s earlier shows up directly in the cost.
+    let (f_tick, f_blind) = (ticked.fleet.clone().unwrap(), blind.fleet.clone().unwrap());
+    assert!(
+        f_tick.replica_seconds < f_blind.replica_seconds,
+        "tick bill {} should undercut blind bill {}",
+        f_tick.replica_seconds,
+        f_blind.replica_seconds
+    );
+
+    // Synthetic barriers are part of the determinism contract too: the
+    // ticked run must be byte-identical under the parallel executor.
+    let ticked_par = run_with(
+        control(300.0)
+            .with_min_replicas(1)
+            .with_max_replicas(2)
+            .with_control_tick(tick),
+        Execution::parallel(2),
+    );
+    assert_byte_identical(&ticked, &ticked_par, "control tick vs parallel(2)");
+}
+
+#[test]
 fn static_cluster_outcome_reports_no_fleet_and_full_bill() {
     let w = stress_workload();
     let out = tokenflow_cluster::run_cluster(

@@ -50,6 +50,15 @@ pub struct ControlConfig {
     /// Per-replica sustainable decode throughput Γ, tokens/second — the
     /// capacity side of the fleet-level `Σ rᵢ ≤ n·Γ` test.
     pub gamma: f64,
+    /// Periodic control tick: when set, the cluster inserts a synthetic
+    /// arrival barrier at this interval whenever the next real arrival is
+    /// further away (or the trace has ended). Scale decisions are
+    /// otherwise only observed at arrival barriers, which leaves the
+    /// plane blind through long idle drains — a replica whose residents
+    /// finish mid-drain would not retire (and stop billing) until the
+    /// run's terminal barrier. `None` (the default) keeps the plane
+    /// arrival-driven.
+    pub control_tick: Option<SimDuration>,
 }
 
 impl ControlConfig {
@@ -84,6 +93,7 @@ impl ControlConfig {
             boot_delay: SimDuration::from_secs(10),
             cooldown: SimDuration::from_secs(5),
             gamma: f64::from(b) * reference_rate,
+            control_tick: None,
         }
     }
 
@@ -114,6 +124,22 @@ impl ControlConfig {
     /// Overrides Γ.
     pub fn with_gamma(mut self, gamma: f64) -> Self {
         self.gamma = gamma;
+        self
+    }
+
+    /// Enables the periodic control tick (see
+    /// [`ControlConfig::control_tick`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval (it would stall the cluster's epoch
+    /// loop on a barrier that never advances time).
+    pub fn with_control_tick(mut self, interval: SimDuration) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "control tick interval must be positive"
+        );
+        self.control_tick = Some(interval);
         self
     }
 }
@@ -409,6 +435,7 @@ mod tests {
             boot_delay: SimDuration::from_secs(10),
             cooldown: SimDuration::ZERO,
             gamma,
+            control_tick: None,
         }
     }
 
@@ -417,6 +444,7 @@ mod tests {
             now: SimTime::ZERO,
             submitted: live,
             live,
+            arrived: live,
             waiting: 0,
             running: live,
             transitioning: 0,

@@ -401,6 +401,7 @@ mod tests {
             now: SimTime::ZERO,
             submitted: 4,
             live: 4,
+            arrived: 4,
             waiting: 0,
             running: 4,
             transitioning: 0,

@@ -8,7 +8,7 @@
 
 use tokenflow_kv::{Direction, EvictStart, KvManager};
 use tokenflow_model::CostModel;
-use tokenflow_sched::{Action, PreemptMode, ReqView, SchedContext, SchedContextBuilder, Scheduler};
+use tokenflow_sched::{Action, PreemptMode, ReqView, SchedContext, Scheduler};
 use tokenflow_sim::{EventQueue, RequestId, SimTime};
 
 use crate::config::EngineConfig;
@@ -30,47 +30,56 @@ pub(crate) fn ingest_arrivals(
         debug_assert_eq!(st.state(entry.event).phase, Phase::WaitingNew);
         st.waiting_count += 1;
         st.prefill_backlog_tokens += st.state(entry.event).context_tokens();
+        st.insert_live(entry.event);
     }
 }
 
-/// Builds the read-only scheduling context the policy plans against.
+/// Rebuilds the read-only scheduling context the policy plans against
+/// into a retained buffer — the engine double-buffers two contexts, so
+/// the steady-state step allocates no `Vec<ReqView>` at all.
+///
+/// The request walk covers exactly the live-id index (arrived,
+/// unfinished requests in ascending id order) and compacts lazily-dead
+/// entries out of the index in passing, which keeps one step O(live)
+/// instead of O(every request ever submitted).
 ///
 /// Γ — the decode capacity estimate — is the capacity the hardware could
 /// sustain at the live requests' context sizes (the largest memory-feasible
 /// batch priced by the cost model), floored against the measured trailing
 /// throughput. Using measured throughput alone would read pacing or
 /// prefill phases as capacity collapses.
-pub(crate) fn build_ctx(
+pub(crate) fn build_ctx_into(
+    ctx: &mut SchedContext,
     st: &mut EngineState,
     kv: &KvManager,
     cost: &CostModel,
     config: &EngineConfig,
     profs: &EngineProfilers,
     now: SimTime,
-) -> SchedContext {
-    let mut views = Vec::new();
-    for i in 0..st.requests.len() {
-        let id = RequestId(i as u64);
-        let (arrived, phase) = {
-            let s = &st.requests[i];
-            (s.spec.arrival <= now, s.phase)
-        };
-        if !arrived {
-            continue;
-        }
+) {
+    ctx.requests.clear();
+    let mut write = 0usize;
+    for read in 0..st.live_ids.len() {
+        let id = st.live_ids[read];
+        let idx = id.0 as usize;
+        let phase = st.requests[idx].phase;
         let Some(sched_phase) = phase.sched_phase() else {
+            // Finished since the last build: compact the entry away.
             continue;
         };
+        st.live_ids[write] = id;
+        write += 1;
+        debug_assert!(st.requests[idx].spec.arrival <= now, "live implies arrived");
         let evict_secs = kv.estimated_evict_time(id, now).as_secs_f64();
         let load_secs = kv.estimated_load_time(id, now).as_secs_f64();
-        let reserved = if st.requests[i].phase == Phase::Prefilling {
-            st.requests[i].prefill_target
+        let reserved = if phase == Phase::Prefilling {
+            st.requests[idx].prefill_target
         } else {
             0
         };
-        let s = &mut st.requests[i];
+        let s = &mut st.requests[idx];
         let snap = s.buffer.snapshot(now);
-        views.push(ReqView {
+        ctx.requests.push(ReqView {
             id,
             phase: sched_phase,
             arrival: s.spec.arrival,
@@ -88,8 +97,10 @@ pub(crate) fn build_ctx(
             elastic: s.kind == tokenflow_workload::ClientKind::Agent,
         });
     }
-    let live_n = views.len().max(1) as u64;
-    let avg_ctx = (views.iter().map(|v| v.context_tokens).sum::<u64>() / live_n).max(128);
+    st.live_ids.truncate(write);
+
+    let live_n = ctx.requests.len().max(1) as u64;
+    let avg_ctx = (ctx.requests.iter().map(|v| v.context_tokens).sum::<u64>() / live_n).max(128);
     let n_fit = (kv.gpu_total_tokens() / avg_ctx).clamp(1, config.max_batch as u64) as u32;
     let theoretical = cost.batch_throughput(n_fit, avg_ctx);
     // Prefill work steals compute from decode: discount capacity by the
@@ -100,19 +111,20 @@ pub(crate) fn build_ctx(
         .decode
         .throughput(now)
         .max(theoretical * (1.0 - prefill_share));
-    SchedContextBuilder::new(now)
-        .requests(views)
-        .memory(kv.gpu_free_tokens(), kv.gpu_total_tokens())
-        .io_state(
-            kv.io_queue_len(Direction::D2H),
-            kv.io_queue_len(Direction::H2D),
-            kv.io_eta(Direction::D2H, now),
-            kv.io_eta(Direction::H2D, now),
-        )
-        .profile(profs.prefill.secs_per_token(), gamma)
-        .link(config.hardware.pcie_bw, config.model.kv_bytes_per_token())
-        .max_batch(config.max_batch)
-        .build()
+    ctx.now = now;
+    ctx.gpu_free_tokens = kv.gpu_free_tokens();
+    ctx.gpu_total_tokens = kv.gpu_total_tokens();
+    ctx.d2h_queue_len = kv.io_queue_len(Direction::D2H);
+    ctx.h2d_queue_len = kv.io_queue_len(Direction::H2D);
+    ctx.d2h_eta = kv.io_eta(Direction::D2H, now);
+    ctx.h2d_eta = kv.io_eta(Direction::H2D, now);
+    ctx.prefill_secs_per_token = profs.prefill.secs_per_token();
+    ctx.decode_throughput = gamma;
+    ctx.pcie_bandwidth = config.hardware.pcie_bw;
+    ctx.kv_bytes_per_token = config.model.kv_bytes_per_token();
+    ctx.max_batch = config.max_batch;
+    ctx.recount_phases();
+    ctx.debug_assert_id_ordered();
 }
 
 /// Starts (or restarts, after a discard) a request's prefill.
@@ -193,6 +205,8 @@ pub(crate) fn apply_plan(
 
 /// Emergency memory reclamation: ask the scheduler for victims until
 /// `needed_blocks` fit or no victims remain. Returns whether it fits.
+/// `scratch` is a retained context buffer rebuilt per victim round (the
+/// engine lends its plan-phase context, which is dead by this stage).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn emergency_reclaim(
     st: &mut EngineState,
@@ -201,6 +215,7 @@ pub(crate) fn emergency_reclaim(
     cost: &CostModel,
     config: &EngineConfig,
     profs: &EngineProfilers,
+    scratch: &mut SchedContext,
     needed_blocks: u64,
     now: SimTime,
 ) -> bool {
@@ -210,8 +225,8 @@ pub(crate) fn emergency_reclaim(
         if kv.gpu_free_tokens() / bt >= needed_blocks {
             return true;
         }
-        let ctx = build_ctx(st, kv, cost, config, profs, now);
-        let Some(victim) = scheduler.emergency_victim(&ctx) else {
+        build_ctx_into(scratch, st, kv, cost, config, profs, now);
+        let Some(victim) = scheduler.emergency_victim(scratch) else {
             return false;
         };
         if st.state(victim).phase != Phase::Running {

@@ -47,35 +47,38 @@ impl IterationBatch {
     }
 }
 
-/// Composes the iteration batch. Pacing policies may gate over-buffered
+/// Composes the iteration batch into a retained buffer (the engine
+/// reuses one `IterationBatch` across steps, so the steady-state path
+/// allocates nothing here). Pacing policies may gate over-buffered
 /// requests out of this round (their KV stays put).
-pub(crate) fn compose(
+pub(crate) fn compose_into(
+    batch: &mut IterationBatch,
     st: &EngineState,
     scheduler: &dyn Scheduler,
     ctx: &SchedContext,
     config: &EngineConfig,
-) -> IterationBatch {
-    let mut decode: Vec<RequestId> = st
-        .running
-        .iter()
-        .copied()
-        .filter(|&id| st.state(id).phase == Phase::Running)
-        .filter(|&id| {
-            ctx.requests
-                .iter()
-                .find(|v| v.id == id)
-                .is_none_or(|v| scheduler.decode_gate(v, ctx))
-        })
-        .collect();
-    let mut prefill: Vec<PrefillSlice> = Vec::new();
+) {
+    batch.decode.clear();
+    batch.prefill.clear();
+    batch.decode.extend(
+        st.running
+            .iter()
+            .copied()
+            .filter(|&id| st.state(id).phase == Phase::Running)
+            .filter(|&id| {
+                ctx.view_of(id)
+                    .is_none_or(|v| scheduler.decode_gate(v, ctx))
+            }),
+    );
+    let (decode, prefill) = (&mut batch.decode, &mut batch.prefill);
     match scheduler.prefill_policy() {
         PrefillPolicy::Full => {
             if !st.prefill_queue.is_empty() {
                 // Dedicated prefill iteration: prefill has priority.
                 decode.clear();
                 let mut budget = config.max_prefill_tokens;
-                let queue: Vec<RequestId> = st.prefill_queue.iter().copied().collect();
-                for id in queue {
+                for qi in 0..st.prefill_queue.len() {
+                    let id = st.prefill_queue[qi];
                     let s = st.state(id);
                     let remaining = s.prefill_target - s.prefill_done;
                     if !prefill.is_empty() && remaining > budget {
@@ -104,11 +107,11 @@ pub(crate) fn compose(
         }
         PrefillPolicy::Chunked(chunk) => {
             let mut budget = chunk;
-            let queue: Vec<RequestId> = st.prefill_queue.iter().copied().collect();
-            for id in queue {
+            for qi in 0..st.prefill_queue.len() {
                 if budget == 0 {
                     break;
                 }
+                let id = st.prefill_queue[qi];
                 let s = st.state(id);
                 let remaining = s.prefill_target - s.prefill_done;
                 let take = remaining.min(budget);
@@ -121,7 +124,6 @@ pub(crate) fn compose(
             }
         }
     }
-    IterationBatch { decode, prefill }
 }
 
 /// Blocks newly required by appending one token to each decode member.
@@ -152,6 +154,7 @@ pub(crate) fn fit_memory(
     cost: &CostModel,
     config: &EngineConfig,
     profs: &EngineProfilers,
+    scratch: &mut SchedContext,
     now: SimTime,
 ) {
     let bt = config.block_tokens as u64;
@@ -163,7 +166,9 @@ pub(crate) fn fit_memory(
         .sum();
     let mut needed = decode_blocks_needed(kv, &batch.decode, bt) + completing_blocks;
     if kv.gpu_free_tokens() / bt < needed
-        && !admission::emergency_reclaim(st, kv, scheduler, cost, config, profs, needed, now)
+        && !admission::emergency_reclaim(
+            st, kv, scheduler, cost, config, profs, scratch, needed, now,
+        )
     {
         // A failed reclaim may still have preempted members (phases left
         // Running, KV gone — their context reads 0, a block-size
@@ -245,7 +250,7 @@ mod tests {
     use tokenflow_kv::{KvConfig, KvManager};
     use tokenflow_metrics::RequestMetrics;
     use tokenflow_model::{HardwareProfile, ModelProfile};
-    use tokenflow_sched::{SchedContext, SchedPlan};
+    use tokenflow_sched::{SchedContext, SchedContextBuilder, SchedPlan};
     use tokenflow_workload::{ClientKind, RequestSpec};
 
     use super::*;
@@ -292,9 +297,15 @@ mod tests {
             prefill_target: context,
             timeline: None,
         });
+        st.insert_live(id);
         st.push_running(id);
         kv.on_prefill(id, context, SimTime::ZERO).expect("fits");
         id
+    }
+
+    /// A fresh scratch context for `fit_memory`'s reclaim path.
+    fn scratch() -> SchedContext {
+        SchedContextBuilder::new(SimTime::ZERO).build()
     }
 
     /// The shed path must skip mid-block members entirely: evicting them
@@ -340,6 +351,7 @@ mod tests {
             &cost,
             &config,
             &profs,
+            &mut scratch(),
             SimTime::ZERO,
         );
         // Both boundary members need a fresh block and none is free, so
@@ -410,6 +422,7 @@ mod tests {
             &cost,
             &config,
             &profs,
+            &mut scratch(),
             SimTime::ZERO,
         );
         // b is gone (preempted), and of the two boundary members the
@@ -462,6 +475,7 @@ mod tests {
             &cost,
             &config,
             &profs,
+            &mut scratch(),
             SimTime::ZERO,
         );
         assert_eq!(batch.decode, vec![small]);

@@ -132,11 +132,15 @@ pub(crate) struct Telemetry {
 }
 
 impl Telemetry {
-    pub(crate) fn new(interval: SimDuration) -> Self {
+    /// Creates the telemetry set, sizing each series from the run-length
+    /// hint (`deadline ÷ interval` samples, capped so a generous safety
+    /// deadline does not pre-commit megabytes per replica).
+    pub(crate) fn new(interval: SimDuration, deadline: SimDuration) -> Self {
+        let hint = (deadline.as_micros() / interval.as_micros().max(1)).min(4_096) as usize;
         Telemetry {
-            queued_series: TimeSeries::new("queued"),
-            running_series: TimeSeries::new("running"),
-            gpu_util_series: TimeSeries::new("gpu_util"),
+            queued_series: TimeSeries::with_capacity("queued", hint),
+            running_series: TimeSeries::with_capacity("running", hint),
+            gpu_util_series: TimeSeries::with_capacity("gpu_util", hint),
             next_sample: SimTime::ZERO + interval,
             interval,
         }
@@ -148,23 +152,32 @@ impl Telemetry {
     /// discard-preempted requests awaiting recompute). In-service =
     /// everything else alive: the running batch, transitions, and rotation
     /// members whose KV is parked on the host.
+    ///
+    /// Counting walks only the live-id index plus an O(log n) lookup for
+    /// arrivals due at `t` but not ingested yet (ingestion runs at the
+    /// iteration's *start* while sample instants lie inside the
+    /// iteration; such requests are untouched `WaitingNew` submissions,
+    /// so they belong in the queued count exactly as the old full-table
+    /// scan counted them). Everything else outside the live index is
+    /// finished (excluded from both counts) or arrives after `t`.
     pub(crate) fn sample(&mut self, st: &EngineState, kv: &KvManager, now: SimTime) {
         while self.next_sample <= now {
             let t = self.next_sample;
-            let queued = st
-                .requests
-                .iter()
-                .filter(|s| s.spec.arrival <= t && s.phase == Phase::WaitingNew)
-                .count();
-            let running = st
-                .requests
-                .iter()
-                .filter(|s| {
-                    s.spec.arrival <= t
-                        && s.phase != Phase::Finished
-                        && s.phase != Phase::WaitingNew
-                })
-                .count();
+            let mut queued = st.pending_due_arrivals(t);
+            let mut running = 0usize;
+            for &id in &st.live_ids {
+                let s = st.state(id);
+                // Arrivals between a stale sample instant and `now` are
+                // live already but not visible at `t` yet.
+                if s.spec.arrival > t {
+                    continue;
+                }
+                match s.phase {
+                    Phase::Finished => {}
+                    Phase::WaitingNew => queued += 1,
+                    _ => running += 1,
+                }
+            }
             self.queued_series.push(t, queued as f64);
             self.running_series.push(t, running as f64);
             self.gpu_util_series.push(t, kv.gpu_pool().utilization());

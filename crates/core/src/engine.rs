@@ -20,10 +20,11 @@ use tokenflow_client::TokenBuffer;
 use tokenflow_kv::{Direction, KvConfig, KvManager};
 use tokenflow_metrics::{RequestMetrics, RunReport, TokenTimeline};
 use tokenflow_model::CostModel;
-use tokenflow_sched::Scheduler;
+use tokenflow_sched::{SchedContext, SchedContextBuilder, Scheduler};
 use tokenflow_sim::{Clock, EventQueue, RequestId, SimDuration, SimTime};
 use tokenflow_workload::{ClientKind, RequestSpec};
 
+use crate::batch::IterationBatch;
 use crate::config::EngineConfig;
 use crate::delivery::Telemetry;
 use crate::outcome::SimOutcome;
@@ -68,6 +69,16 @@ pub struct Engine {
     iterations: u64,
     /// Minimum idle fast-forward so time-sliced schedulers get woken.
     idle_tick: SimDuration,
+    /// Retained scheduler-context buffers, double-buffered: `ctx_plan`
+    /// carries the pre-plan context (and is later lent to the memory-fit
+    /// stage as reclaim scratch, once the plan no longer needs it);
+    /// `ctx_batch` carries the post-plan context batch composition reads.
+    /// Reusing them eliminates the two-to-three full `Vec<ReqView>`
+    /// allocations every step used to pay.
+    ctx_plan: SchedContext,
+    ctx_batch: SchedContext,
+    /// Retained iteration-batch buffer, cleared and refilled per step.
+    iter_batch: IterationBatch,
 }
 
 impl Engine {
@@ -117,9 +128,12 @@ impl Engine {
             st: EngineState::new(),
             arrivals: EventQueue::new(),
             profs: EngineProfilers::new(prefill_init, thpt_init),
-            telemetry: Telemetry::new(config.sample_interval),
+            telemetry: Telemetry::new(config.sample_interval, config.deadline),
             iterations: 0,
             idle_tick: SimDuration::from_millis(10),
+            ctx_plan: SchedContextBuilder::new(SimTime::ZERO).build(),
+            ctx_batch: SchedContextBuilder::new(SimTime::ZERO).build(),
+            iter_batch: IterationBatch::default(),
             config,
         }
     }
@@ -155,8 +169,10 @@ impl Engine {
         let id = RequestId(self.st.requests.len() as u64);
         spec.id = id;
         let metrics = RequestMetrics::new(id, spec.arrival, spec.rate, spec.output_tokens);
-        let timeline =
-            (id.0 < self.config.timeline_requests as u64).then(|| TokenTimeline::new(id));
+        // One timeline point per output token: the exact final length is
+        // known here, so reserve it once.
+        let timeline = (id.0 < self.config.timeline_requests as u64)
+            .then(|| TokenTimeline::with_capacity(id, spec.output_tokens));
         self.st.requests.push(ReqState {
             buffer: TokenBuffer::new(spec.rate),
             kind,
@@ -169,6 +185,7 @@ impl Engine {
             spec,
         });
         self.st.active_rate_sum += spec.rate;
+        self.st.insert_arrival_time(spec.arrival);
         self.arrivals.push(spec.arrival, id);
         id
     }
@@ -193,6 +210,7 @@ impl Engine {
             now: self.clock.now(),
             submitted: self.st.requests.len(),
             live: self.st.requests.len() - self.st.finished_count,
+            arrived: self.st.live_count,
             waiting: self.st.waiting_count,
             running: self.st.running.len(),
             transitioning: self.kv.evicting_requests() + self.kv.loading_requests(),
@@ -207,18 +225,33 @@ impl Engine {
 
     /// Runs one engine iteration through the staged pipeline. Returns what
     /// happened.
+    ///
+    /// Allocates a fresh [`StepOutcome`] per call; hot loops that discard
+    /// or copy the outcome should reuse one via [`Engine::step_into`].
     pub fn step(&mut self) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        self.step_into(&mut outcome);
+        outcome
+    }
+
+    /// [`Engine::step`] into a caller-retained outcome buffer: `outcome`
+    /// is cleared and refilled, so a loop reusing one buffer keeps the
+    /// whole steady-state step allocation-free (the engine's contexts and
+    /// batch are retained too).
+    pub fn step_into(&mut self, outcome: &mut StepOutcome) {
         let now = self.clock.now();
-        let mut outcome = StepOutcome {
-            now,
-            ..StepOutcome::default()
-        };
+        outcome.now = now;
+        outcome.delivered.clear();
+        outcome.finished.clear();
+        outcome.idle = false;
+        outcome.done = false;
 
         // Stage 1+2 (pre-compute): ingest arrivals, apply finished KV
         // transfers, then let the scheduler plan against fresh state.
         admission::ingest_arrivals(&mut self.arrivals, &mut self.st, now);
         kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, now);
-        let ctx = admission::build_ctx(
+        admission::build_ctx_into(
+            &mut self.ctx_plan,
             &mut self.st,
             &self.kv,
             &self.cost,
@@ -226,12 +259,13 @@ impl Engine {
             &self.profs,
             now,
         );
-        let plan = self.scheduler.plan(&ctx);
+        let plan = self.scheduler.plan(&self.ctx_plan);
         admission::apply_plan(&mut self.st, &mut self.kv, plan.actions, now);
 
         // Stage 3: compose the iteration batch against post-plan state and
         // fit it into GPU memory.
-        let ctx_after_plan = admission::build_ctx(
+        admission::build_ctx_into(
+            &mut self.ctx_batch,
             &mut self.st,
             &self.kv,
             &self.cost,
@@ -239,30 +273,34 @@ impl Engine {
             &self.profs,
             now,
         );
-        let mut iter_batch = batch::compose(
+        batch::compose_into(
+            &mut self.iter_batch,
             &self.st,
             self.scheduler.as_ref(),
-            &ctx_after_plan,
+            &self.ctx_batch,
             &self.config,
         );
         batch::fit_memory(
-            &mut iter_batch,
+            &mut self.iter_batch,
             &mut self.st,
             &mut self.kv,
             self.scheduler.as_ref(),
             &self.cost,
             &self.config,
             &self.profs,
+            // The plan-phase context is dead here; lend it to the
+            // emergency-reclaim loop as scratch.
+            &mut self.ctx_plan,
             now,
         );
 
         // Idle fast-forward when there is no compute work.
-        if iter_batch.is_idle() {
+        if self.iter_batch.is_idle() {
             return self.idle_step(outcome);
         }
 
         // Price the iteration.
-        let (spec, iter_time) = batch::price(&iter_batch, &self.st, &self.cost);
+        let (spec, iter_time) = batch::price(&self.iter_batch, &self.st, &self.cost);
 
         // Stage 2 (in-compute): pump a compute-window's worth of
         // write-through sync, then advance time — transfers progress
@@ -270,7 +308,7 @@ impl Engine {
         kv_orchestrator::pump_write_through(
             &mut self.st,
             &mut self.kv,
-            &iter_batch.decode,
+            &self.iter_batch.decode,
             now,
             iter_time,
         );
@@ -282,19 +320,19 @@ impl Engine {
         delivery::apply_prefill_progress(
             &mut self.st,
             &mut self.kv,
-            &iter_batch,
+            &self.iter_batch,
             end,
             &qos,
-            &mut outcome,
+            outcome,
         );
         let decode_delivered = delivery::deliver_decode(
             &mut self.st,
             &mut self.kv,
-            &iter_batch,
+            &self.iter_batch,
             now,
             end,
             &qos,
-            &mut outcome,
+            outcome,
         );
         if spec.prefill_tokens > 0 {
             self.profs.prefill.record(spec.prefill_tokens, iter_time);
@@ -305,12 +343,11 @@ impl Engine {
         self.iterations += 1;
         outcome.now = end;
         outcome.done = self.st.all_finished() && self.arrivals.is_empty();
-        outcome
     }
 
     /// Fast-forwards an idle iteration to the next wake-up: an arrival, a
     /// transfer completion, or one idle tick while requests are alive.
-    fn idle_step(&mut self, mut outcome: StepOutcome) -> StepOutcome {
+    fn idle_step(&mut self, outcome: &mut StepOutcome) {
         let now = outcome.now;
         outcome.idle = true;
         let mut wake = SimTime::MAX;
@@ -326,12 +363,11 @@ impl Engine {
         }
         if wake == SimTime::MAX {
             outcome.done = self.st.all_finished();
-            return outcome;
+            return;
         }
         let wake = wake.max(now + SimDuration::from_micros(1));
         self.clock.advance_to(wake);
         outcome.now = wake;
-        outcome
     }
 
     /// Advances the engine until its clock reaches `deadline`, every
@@ -346,6 +382,7 @@ impl Engine {
     /// cluster execution stay step-for-step identical. An engine whose
     /// clock is already at or past `deadline` is left untouched.
     pub fn step_until(&mut self, deadline: SimTime) -> bool {
+        let mut out = StepOutcome::default();
         loop {
             if self.st.all_finished() && self.arrivals.is_empty() {
                 return true;
@@ -356,7 +393,8 @@ impl Engine {
             // Every non-done step advances the clock (idle steps
             // fast-forward at least one tick while work remains), so the
             // loop terminates at the deadline.
-            if self.step().done {
+            self.step_into(&mut out);
+            if out.done {
                 return true;
             }
         }
@@ -367,8 +405,9 @@ impl Engine {
     pub fn run_to_completion(&mut self) -> bool {
         let deadline = SimTime::ZERO + self.config.deadline;
         let max_iterations = 50_000_000u64;
+        let mut out = StepOutcome::default();
         loop {
-            let out = self.step();
+            self.step_into(&mut out);
             if out.done {
                 return true;
             }

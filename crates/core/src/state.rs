@@ -79,6 +79,21 @@ impl ReqState {
 pub(crate) struct EngineState {
     /// All requests, indexed by dense `RequestId`.
     pub requests: Vec<ReqState>,
+    /// Arrived requests in ascending-id order — the population one engine
+    /// step iterates. Ids enter at arrival ingest and leave *lazily*: a
+    /// finished request stays until the next context build compacts it
+    /// out in place, so maintenance is amortized O(1) per request instead
+    /// of O(live) per completion. Consumers must skip
+    /// [`Phase::Finished`] entries.
+    pub live_ids: Vec<RequestId>,
+    /// Every submitted request's arrival time, kept sorted ascending.
+    /// With [`EngineState::live_count`] (arrivals ingested so far) this
+    /// answers "how many due arrivals are still un-ingested at time t"
+    /// in O(log n) — telemetry samples instants *inside* an iteration,
+    /// after ingestion ran at the iteration's start, and those requests
+    /// are queued at the sample instant even though they are not in the
+    /// live index yet.
+    pub arrival_times: Vec<SimTime>,
     /// Members of the decode batch, kept sorted by id.
     pub running: Vec<RequestId>,
     /// Admitted requests whose prefill is in progress, FIFO.
@@ -116,6 +131,45 @@ impl EngineState {
         &mut self.requests[id.0 as usize]
     }
 
+    /// Records a submission's arrival time, preserving ascending order
+    /// (submissions almost always come arrival-sorted, so the common
+    /// case is a push).
+    pub(crate) fn insert_arrival_time(&mut self, at: SimTime) {
+        match self.arrival_times.last() {
+            Some(&last) if last > at => {
+                let pos = self.arrival_times.partition_point(|&x| x <= at);
+                self.arrival_times.insert(pos, at);
+            }
+            _ => self.arrival_times.push(at),
+        }
+    }
+
+    /// Due-but-uningested arrivals at `t`: submitted requests whose
+    /// arrival has passed `t` but which the admission stage has not
+    /// ingested yet (ingestion runs at iteration starts; `t` may lie
+    /// inside an iteration). Requires `t` at or after the latest
+    /// ingested arrival, which holds for telemetry's sample instants.
+    pub(crate) fn pending_due_arrivals(&self, t: SimTime) -> usize {
+        self.arrival_times
+            .partition_point(|&a| a <= t)
+            .saturating_sub(self.live_count)
+    }
+
+    /// Records an arrival in the live-id index, preserving ascending-id
+    /// order (the context build iterates this index, and scheduler
+    /// contexts list requests in id order). Arrivals almost always come
+    /// in id order — ids are assigned in submission order and workloads
+    /// are arrival-sorted — so the common case is a push.
+    pub(crate) fn insert_live(&mut self, id: RequestId) {
+        match self.live_ids.last() {
+            Some(&last) if last >= id => {
+                let pos = self.live_ids.partition_point(|&x| x < id);
+                self.live_ids.insert(pos, id);
+            }
+            _ => self.live_ids.push(id),
+        }
+    }
+
     /// Adds a request to the decode batch, preserving the sorted order the
     /// batch-composition stage relies on for determinism.
     pub(crate) fn push_running(&mut self, id: RequestId) {
@@ -146,6 +200,11 @@ pub struct EngineLoad {
     pub submitted: usize,
     /// Requests that have not finished yet (including not-yet-arrived).
     pub live: usize,
+    /// Requests whose arrival time has passed. `arrived − (submitted −
+    /// live)` is the *arrived live* population — the set one engine step
+    /// actually iterates, and the denominator any O(live)-per-step claim
+    /// is measured against.
+    pub arrived: usize,
     /// Arrived requests waiting for admission with no KV anywhere.
     pub waiting: usize,
     /// Requests in the decode batch.

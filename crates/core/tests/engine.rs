@@ -320,3 +320,44 @@ fn step_until_equals_manual_stepping() {
     assert_eq!(whole.records, sliced.records);
     assert_eq!(whole.iterations, sliced.iterations);
 }
+
+/// A request arriving *inside* an iteration is queued at every sample
+/// instant between its arrival and its admission, even though arrival
+/// ingestion only runs at iteration starts. (Regression: the O(live)
+/// telemetry rewrite must match the old full-table scan, which counted
+/// due-but-uningested submissions as queued.)
+#[test]
+fn queued_series_counts_mid_iteration_arrivals() {
+    let mut cfg = config();
+    cfg.sample_interval = SimDuration::from_micros(100);
+    let mut e = Engine::new(cfg, FcfsScheduler::new());
+    // A long-running resident keeps iterations going...
+    e.submit(spec(0, 512, 2_000, 20.0));
+    // ...and a second request lands at an odd instant, mid-iteration.
+    e.submit(spec(13, 128, 10, 20.0));
+    for _ in 0..200 {
+        if e.step().done {
+            break;
+        }
+    }
+    let out = e.into_outcome();
+    // The short request ran to completion inside the window (the long
+    // one keeps iterating past it; full completion is not needed here).
+    assert!(out.records[1].completed());
+    let queued_max = out
+        .queued_series
+        .samples()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    assert!(
+        queued_max >= 1.0,
+        "the mid-iteration arrival was never counted as queued"
+    );
+    // And it is only counted from its arrival onward.
+    assert!(out
+        .queued_series
+        .samples()
+        .iter()
+        .all(|&(t, v)| v == 0.0 || t >= SimTime::from_millis(13)));
+}

@@ -22,7 +22,7 @@
 //! property tests assert global conservation across random operation
 //! sequences.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
@@ -213,8 +213,15 @@ pub struct KvManager {
     cpu: BlockPool,
     pcie: PcieEngine,
     write_queue: WriteQueue,
-    states: HashMap<RequestId, ReqState>,
-    stale: HashMap<RequestId, Stale>,
+    /// Per-request KV state, slab-indexed by the engine's dense
+    /// `RequestId` (`None` = no KV anywhere). A dense vector instead of a
+    /// hash map: the hot path touches several entries per live request
+    /// per step, and ids are already dense, so indexing is O(1) with no
+    /// hashing and no iteration over requests that ever existed.
+    states: Vec<Option<ReqState>>,
+    /// Stale in-flight token counters, slab-indexed like `states`
+    /// (all-zero = nothing stale for that id).
+    stale: Vec<Stale>,
     loading_order: VecDeque<RequestId>,
     /// Count of requests currently in `Evicting` (for overlap gating).
     evicting_count: usize,
@@ -236,8 +243,8 @@ impl KvManager {
             cpu: BlockPool::new(config.cpu_blocks),
             pcie,
             write_queue,
-            states: HashMap::new(),
-            stale: HashMap::new(),
+            states: Vec::new(),
+            stale: Vec::new(),
             loading_order: VecDeque::new(),
             evicting_count: 0,
             config,
@@ -247,6 +254,23 @@ impl KvManager {
     /// The active configuration.
     pub fn config(&self) -> &KvConfig {
         &self.config
+    }
+
+    fn req_state(&self, req: RequestId) -> Option<&ReqState> {
+        self.states.get(req.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn req_state_mut(&mut self, req: RequestId) -> Option<&mut ReqState> {
+        self.states.get_mut(req.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// The slab slot for `req`, growing the table on first touch.
+    fn slot_mut(&mut self, req: RequestId) -> &mut Option<ReqState> {
+        let idx = req.0 as usize;
+        if self.states.len() <= idx {
+            self.states.resize_with(idx + 1, || None);
+        }
+        &mut self.states[idx]
     }
 
     /// The GPU block pool (read-only).
@@ -266,14 +290,13 @@ impl KvManager {
 
     /// Where `req`'s KV currently lives.
     pub fn residency(&self, req: RequestId) -> Residency {
-        self.states
-            .get(&req)
+        self.req_state(req)
             .map_or(Residency::None, |s| s.residency())
     }
 
     /// Context length tracked for `req`.
     pub fn context_tokens(&self, req: RequestId) -> u64 {
-        self.states.get(&req).map_or(0, |s| s.total)
+        self.req_state(req).map_or(0, |s| s.total)
     }
 
     /// Free GPU capacity in tokens.
@@ -300,8 +323,7 @@ impl KvManager {
     /// Dirty (host-unsynced) tokens of a request, counting in-flight sync
     /// as clean-to-be.
     pub fn dirty_tokens(&self, req: RequestId) -> u64 {
-        self.states
-            .get(&req)
+        self.req_state(req)
             .map_or(0, |s| s.total - s.synced - s.wt_inflight - s.evict_inflight)
     }
 
@@ -359,7 +381,7 @@ impl KvManager {
     }
 
     fn set_gpu_hold(&mut self, req: RequestId, new_tokens: u64) -> Result<(), KvError> {
-        let s = self.states.get_mut(&req).expect("request state");
+        let s = self.states[req.0 as usize].as_mut().expect("request state");
         let new_blocks = tokens_to_blocks(new_tokens, self.config.block_tokens);
         if new_blocks > s.gpu_blocks {
             if !self.gpu.try_alloc(new_blocks - s.gpu_blocks) {
@@ -374,7 +396,7 @@ impl KvManager {
     }
 
     fn set_cpu_hold(&mut self, req: RequestId, new_tokens: u64) -> Result<(), KvError> {
-        let s = self.states.get_mut(&req).expect("request state");
+        let s = self.states[req.0 as usize].as_mut().expect("request state");
         let new_blocks = tokens_to_blocks(new_tokens, self.config.block_tokens);
         if new_blocks > s.cpu_blocks {
             if !self.cpu.try_alloc(new_blocks - s.cpu_blocks) {
@@ -396,12 +418,12 @@ impl KvManager {
         tokens: u64,
         _now: SimTime,
     ) -> Result<(), KvError> {
-        let state = self.states.entry(req).or_default();
+        let state = self.slot_mut(req).get_or_insert_with(ReqState::default);
         if state.residency() != Residency::None {
             return Err(KvError::BadState("prefill requires no existing KV"));
         }
         self.set_gpu_hold(req, tokens)?;
-        let s = self.states.get_mut(&req).expect("request state");
+        let s = self.req_state_mut(req).expect("request state");
         s.total = tokens;
         s.synced = 0;
         s.set_residency(Residency::Gpu);
@@ -414,15 +436,14 @@ impl KvManager {
     /// Appends one decoded token's KV for a GPU-resident request.
     pub fn append_token(&mut self, req: RequestId, priority: f64) -> Result<(), KvError> {
         let s = self
-            .states
-            .get_mut(&req)
+            .req_state_mut(req)
             .ok_or(KvError::BadState("unknown request"))?;
         if s.residency() != Residency::Gpu {
             return Err(KvError::BadState("append requires GPU residency"));
         }
         let new_total = s.total + 1;
         self.set_gpu_hold(req, new_total)?;
-        let s = self.states.get_mut(&req).expect("request state");
+        let s = self.req_state_mut(req).expect("request state");
         s.total = new_total;
         if self.config.write_through {
             self.write_queue.push(req, 1, priority);
@@ -437,8 +458,7 @@ impl KvManager {
             return Err(KvError::OffloadDisabled);
         }
         let s = self
-            .states
-            .get(&req)
+            .req_state(req)
             .ok_or(KvError::BadState("unknown request"))?;
         if s.residency() != Residency::Gpu {
             return Err(KvError::BadState("evict requires GPU residency"));
@@ -467,7 +487,7 @@ impl KvManager {
         let pending = dirty + wt_inflight;
         if pending == 0 {
             self.set_gpu_hold(req, 0)?;
-            let s = self.states.get_mut(&req).expect("request state");
+            let s = self.req_state_mut(req).expect("request state");
             s.set_residency(Residency::Cpu);
             return Ok(EvictStart::Instant);
         }
@@ -488,7 +508,7 @@ impl KvManager {
                 now,
             );
         }
-        let s = self.states.get_mut(&req).expect("request state");
+        let s = self.req_state_mut(req).expect("request state");
         s.evict_pending = pending;
         s.evict_inflight = dirty;
         s.set_residency(Residency::Evicting);
@@ -501,8 +521,7 @@ impl KvManager {
     /// [`KvManager::advance_to`]).
     pub fn begin_load(&mut self, req: RequestId, now: SimTime) -> Result<(), KvError> {
         let s = self
-            .states
-            .get_mut(&req)
+            .req_state_mut(req)
             .ok_or(KvError::BadState("unknown request"))?;
         if s.residency() != Residency::Cpu {
             return Err(KvError::BadState("load requires CPU residency"));
@@ -522,19 +541,20 @@ impl KvManager {
     /// waste reactive eviction incurs.
     pub fn drop_kv(&mut self, req: RequestId) {
         self.write_queue.cancel(req);
-        let Some(s) = self.states.remove(&req) else {
+        let Some(s) = self.states.get_mut(req.0 as usize).and_then(Option::take) else {
             return;
         };
         if s.residency() == Residency::Evicting {
             self.evicting_count -= 1;
         }
-        let stale = self.stale.entry(req).or_default();
+        let idx = req.0 as usize;
+        if self.stale.len() <= idx {
+            self.stale.resize_with(idx + 1, Stale::default);
+        }
+        let stale = &mut self.stale[idx];
         stale.wt += s.wt_inflight;
         stale.evict += s.evict_inflight;
         stale.load += s.load_enqueued - s.load_done;
-        if stale.wt == 0 && stale.evict == 0 && stale.load == 0 {
-            self.stale.remove(&req);
-        }
         self.gpu.free(s.gpu_blocks);
         self.cpu.free(s.cpu_blocks);
         self.loading_order.retain(|&r| r != req);
@@ -555,7 +575,7 @@ impl KvManager {
             .write_queue
             .pull(budget_tokens, self.config.chunk_tokens);
         for chunk in chunks {
-            let Some(s) = self.states.get(&chunk.req) else {
+            let Some(s) = self.req_state(chunk.req) else {
                 continue;
             };
             let new_cpu_hold = s.cpu_hold + chunk.tokens;
@@ -573,7 +593,7 @@ impl KvManager {
                 },
                 now,
             );
-            let s = self.states.get_mut(&chunk.req).expect("request state");
+            let s = self.req_state_mut(chunk.req).expect("request state");
             s.wt_inflight += chunk.tokens;
         }
     }
@@ -590,7 +610,7 @@ impl KvManager {
         }
         let order: Vec<RequestId> = self.loading_order.iter().copied().collect();
         for req in order {
-            let Some(s) = self.states.get(&req) else {
+            let Some(s) = self.req_state(req) else {
                 continue;
             };
             if s.residency() != Residency::Loading {
@@ -618,7 +638,7 @@ impl KvManager {
                 );
                 enqueued = new_hold;
             }
-            let s = self.states.get_mut(&req).expect("request state");
+            let s = self.req_state_mut(req).expect("request state");
             s.load_enqueued = enqueued;
             if blocked {
                 // FIFO head-of-line: later loads wait behind this one.
@@ -660,7 +680,7 @@ impl KvManager {
     }
 
     fn absorb_stale(&mut self, req: RequestId, tokens: u64, kind: StaleKind) -> bool {
-        let Some(stale) = self.stale.get_mut(&req) else {
+        let Some(stale) = self.stale.get_mut(req.0 as usize) else {
             return false;
         };
         let counter = match kind {
@@ -670,9 +690,6 @@ impl KvManager {
         };
         if *counter >= tokens {
             *counter -= tokens;
-            if stale.wt == 0 && stale.evict == 0 && stale.load == 0 {
-                self.stale.remove(&req);
-            }
             true
         } else {
             false
@@ -687,7 +704,7 @@ impl KvManager {
         at: SimTime,
         events: &mut Vec<KvEvent>,
     ) {
-        let Some(s) = self.states.get_mut(&req) else {
+        let Some(s) = self.req_state_mut(req) else {
             return;
         };
         s.synced += tokens;
@@ -703,7 +720,7 @@ impl KvManager {
             self.set_gpu_hold(req, new_hold)
                 .expect("shrinking GPU hold cannot fail");
             if done {
-                let s = self.states.get_mut(&req).expect("request state");
+                let s = self.req_state_mut(req).expect("request state");
                 debug_assert_eq!(s.synced, s.total, "eviction must sync everything");
                 s.set_residency(Residency::Cpu);
                 self.evicting_count -= 1;
@@ -719,7 +736,7 @@ impl KvManager {
         at: SimTime,
         events: &mut Vec<KvEvent>,
     ) {
-        let Some(s) = self.states.get_mut(&req) else {
+        let Some(s) = self.req_state_mut(req) else {
             return;
         };
         s.load_done += tokens;
@@ -733,8 +750,8 @@ impl KvManager {
     /// Internal consistency check: pool usage equals the sum of per-request
     /// holds. Used by tests.
     pub fn check_conservation(&self) -> bool {
-        let gpu: u64 = self.states.values().map(|s| s.gpu_blocks).sum();
-        let cpu: u64 = self.states.values().map(|s| s.cpu_blocks).sum();
+        let gpu: u64 = self.states.iter().flatten().map(|s| s.gpu_blocks).sum();
+        let cpu: u64 = self.states.iter().flatten().map(|s| s.cpu_blocks).sum();
         gpu == self.gpu.used_blocks() && cpu == self.cpu.used_blocks()
     }
 }

@@ -1,0 +1,138 @@
+//! Canonical serialization and digests for behavior-invariance pinning.
+//!
+//! Perf work on the engine's hot path must not change a single reported
+//! byte. The golden-digest test suites pin that contract: a seeded run's
+//! full [`RunReport`] is rendered to a *canonical* JSON form (fixed field
+//! order, shortest-round-trip float formatting, durations in integer
+//! microseconds) and hashed with FNV-1a; the 64-bit digest is committed.
+//! Any refactor that alters scheduling, accounting, or aggregation —
+//! however slightly — moves the digest.
+//!
+//! The vendored `serde` stand-in has no serializer, so the canonical form
+//! is hand-rolled here and is itself part of the pinned contract: do not
+//! reorder fields or change float formatting without updating every
+//! golden digest.
+
+use crate::report::{RunReport, Summary};
+
+/// 64-bit FNV-1a over a byte stream — stable, dependency-free, and fast
+/// enough for test-time digesting.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Canonical float rendering: Rust's shortest round-trip `Debug` form.
+/// Exact (`f64::from_str` recovers the bits) and deterministic across
+/// platforms, which is what a digest needs; `-0.0` and `NaN` render
+/// distinctly so accidental sign/NaN changes are caught too.
+fn float(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        s.count,
+        float(s.mean),
+        float(s.p50),
+        float(s.p90),
+        float(s.p99),
+        float(s.max)
+    )
+}
+
+impl RunReport {
+    /// The report's canonical JSON form (fixed field order, exact float
+    /// rendering, duration in integer microseconds). See the module docs
+    /// for the stability contract.
+    pub fn canonical_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"duration_us\":{},\"ttft\":{},\
+             \"throughput\":{},\"effective_throughput\":{},\"qos\":{},\
+             \"total_rebuffer_secs\":{},\"stall_events\":{},\"preemptions\":{},\
+             \"recomputes\":{},\"mean_generation_rate\":{},\"replica_seconds\":{}}}",
+            self.submitted,
+            self.completed,
+            self.duration.as_micros(),
+            summary_json(&self.ttft),
+            float(self.throughput),
+            float(self.effective_throughput),
+            float(self.qos),
+            float(self.total_rebuffer_secs),
+            self.stall_events,
+            self.preemptions,
+            self.recomputes,
+            float(self.mean_generation_rate),
+            float(self.replica_seconds),
+        )
+    }
+
+    /// FNV-1a digest of [`RunReport::canonical_json`].
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.canonical_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RequestMetrics;
+    use crate::weights::QosParams;
+    use tokenflow_sim::{RequestId, SimDuration, SimTime};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn float_rendering_is_exact_and_distinct() {
+        assert_eq!(float(0.1), "0.1");
+        assert_eq!(float(1.0), "1.0");
+        assert_ne!(float(0.0), float(-0.0));
+        let v = 1.0 / 3.0;
+        assert_eq!(float(v).parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    fn report() -> RunReport {
+        let mut m = RequestMetrics::new(RequestId(0), SimTime::ZERO, 20.0, 64);
+        m.first_token_at = Some(SimTime::from_millis(500));
+        m.finished_at = Some(SimTime::from_secs(10));
+        m.generated = 64;
+        m.effective_tokens = 60.0;
+        m.qos_weight_sum = 60.0;
+        RunReport::from_records(&[m], SimDuration::from_secs(10), &QosParams::default())
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_digestable() {
+        let r = report();
+        let j1 = r.canonical_json();
+        let j2 = r.clone().canonical_json();
+        assert_eq!(j1, j2);
+        assert!(j1.starts_with("{\"submitted\":1,\"completed\":1,"));
+        assert!(j1.contains("\"duration_us\":10000000"));
+        assert_eq!(r.digest(), fnv1a64(j1.as_bytes()));
+    }
+
+    #[test]
+    fn digest_moves_with_any_field() {
+        let base = report();
+        let mut changed = base.clone();
+        changed.preemptions += 1;
+        assert_ne!(base.digest(), changed.digest());
+        let mut changed = base.clone();
+        changed.throughput += 1e-12;
+        assert_ne!(base.digest(), changed.digest());
+    }
+}

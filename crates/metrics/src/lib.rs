@@ -17,7 +17,10 @@
 //!   Figure 18/19 visualisations.
 //! * [`fleet`] — fleet-size timelines and replica-seconds cost
 //!   accounting for elastic (autoscaled) cluster runs.
+//! * [`digest`] — canonical JSON rendering and FNV-1a digests of
+//!   [`RunReport`]s, pinning behavior invariance across perf refactors.
 
+pub mod digest;
 pub mod fleet;
 pub mod record;
 pub mod report;
@@ -25,6 +28,7 @@ pub mod timeline;
 pub mod timeseries;
 pub mod weights;
 
+pub use digest::fnv1a64;
 pub use fleet::FleetStats;
 pub use record::RequestMetrics;
 pub use report::{percentile, RunReport, Summary};

@@ -25,6 +25,19 @@ impl TokenTimeline {
         }
     }
 
+    /// Creates an empty timeline sized for `tokens` samples up front.
+    ///
+    /// A timeline records one point per generated token, so the final
+    /// length is known at admission (the request's output budget);
+    /// reserving it once avoids the log₂(n) reallocation-and-copy ladder
+    /// of growing through `push`.
+    pub fn with_capacity(id: RequestId, tokens: u64) -> Self {
+        TokenTimeline {
+            id,
+            points: Vec::with_capacity(tokens as usize),
+        }
+    }
+
     /// Records that the request's cumulative count reached `tokens` at `t`.
     pub fn record(&mut self, t: SimTime, tokens: u64) {
         debug_assert!(

@@ -19,6 +19,18 @@ impl TimeSeries {
         }
     }
 
+    /// Creates an empty named series with room for `samples` entries.
+    ///
+    /// Callers that know the run length (deadline ÷ sampling interval)
+    /// reserve once instead of reallocating through `push`; capacity is
+    /// a hint, not a cap — the series still grows past it.
+    pub fn with_capacity(name: impl Into<String>, samples: usize) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::with_capacity(samples),
+        }
+    }
+
     /// The series name.
     pub fn name(&self) -> &str {
         &self.name

@@ -234,21 +234,13 @@ mod tests {
     }
 
     fn ctx(requests: Vec<ReqView>, free: u64, total: u64) -> SchedContext {
-        SchedContext {
-            now: SimTime::from_secs(100),
-            requests,
-            gpu_free_tokens: free,
-            gpu_total_tokens: total,
-            d2h_queue_len: 0,
-            h2d_queue_len: 0,
-            d2h_eta: SimDuration::ZERO,
-            h2d_eta: SimDuration::ZERO,
-            prefill_secs_per_token: 1e-4,
-            decode_throughput: 2_000.0,
-            pcie_bandwidth: 25e9,
-            kv_bytes_per_token: 131_072,
-            max_batch: 64,
-        }
+        crate::api::SchedContextBuilder::new(SimTime::from_secs(100))
+            .requests(requests)
+            .memory(free, total)
+            .profile(1e-4, 2_000.0)
+            .link(25e9, 131_072)
+            .max_batch(64)
+            .build()
     }
 
     #[test]

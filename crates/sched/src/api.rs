@@ -86,6 +86,23 @@ pub struct SchedContext {
     pub kv_bytes_per_token: u64,
     /// Hard cap on concurrently running requests.
     pub max_batch: u32,
+    /// Per-phase request counts, cached at construction so
+    /// [`SchedContext::count_phase`] is O(1) on the engine's hot path
+    /// (pacing gates query it per batch member per iteration). Private:
+    /// contexts are built through [`SchedContextBuilder`] (or the
+    /// engine's in-place rebuild), both of which keep it consistent;
+    /// code that mutates `requests` directly afterwards must call
+    /// [`SchedContext::recount_phases`].
+    phase_counts: [usize; 4],
+}
+
+const fn phase_index(phase: ReqPhase) -> usize {
+    match phase {
+        ReqPhase::WaitingNew => 0,
+        ReqPhase::WaitingCpu => 1,
+        ReqPhase::Transitioning => 2,
+        ReqPhase::Running => 3,
+    }
 }
 
 impl SchedContext {
@@ -94,9 +111,49 @@ impl SchedContext {
         self.requests.iter().filter(move |r| r.phase == phase)
     }
 
-    /// Number of requests in a phase.
+    /// The view of one request, by binary search over the id-ordered
+    /// request list.
+    ///
+    /// Engine-built contexts list requests in ascending id order (ids are
+    /// dense and the engine walks its live-id index), which is what makes
+    /// per-member lookups on the batch-composition hot path O(log live)
+    /// instead of a linear scan. The ordering is asserted once per
+    /// context build (see [`SchedContext::debug_assert_id_ordered`]), not
+    /// here — this lookup runs per batch member per step. Hand-built
+    /// contexts that violate the ordering get unspecified (but
+    /// memory-safe) results.
+    pub fn view_of(&self, id: RequestId) -> Option<&ReqView> {
+        self.requests
+            .binary_search_by(|r| r.id.cmp(&id))
+            .ok()
+            .map(|i| &self.requests[i])
+    }
+
+    /// Debug-build check that `requests` is in strictly ascending id
+    /// order — the invariant [`SchedContext::view_of`] relies on. Called
+    /// once per context (re)build; a no-op in release builds.
+    pub fn debug_assert_id_ordered(&self) {
+        debug_assert!(
+            self.requests.windows(2).all(|w| w[0].id < w[1].id),
+            "SchedContext requests must be in ascending id order"
+        );
+    }
+
+    /// Number of requests in a phase — O(1), from the counts cached at
+    /// construction (see [`SchedContext::recount_phases`]).
     pub fn count_phase(&self, phase: ReqPhase) -> usize {
-        self.in_phase(phase).count()
+        self.phase_counts[phase_index(phase)]
+    }
+
+    /// Recomputes the cached per-phase counts from `requests`. Call after
+    /// mutating the request list in place; the builder and the engine's
+    /// context rebuild do this for you.
+    pub fn recount_phases(&mut self) {
+        let mut counts = [0usize; 4];
+        for r in &self.requests {
+            counts[phase_index(r.phase)] += 1;
+        }
+        self.phase_counts = counts;
     }
 
     /// Estimated time to transfer one request's full context over the host
@@ -274,6 +331,7 @@ impl SchedContextBuilder {
                 pcie_bandwidth: 1.0,
                 kv_bytes_per_token: 0,
                 max_batch: 1,
+                phase_counts: [0; 4],
             },
         }
     }
@@ -333,9 +391,11 @@ impl SchedContextBuilder {
         self
     }
 
-    /// Finishes the context.
+    /// Finishes the context (computing the cached phase counts).
     pub fn build(self) -> SchedContext {
-        self.ctx
+        let mut ctx = self.ctx;
+        ctx.recount_phases();
+        ctx
     }
 }
 
@@ -364,21 +424,13 @@ mod tests {
     }
 
     fn ctx(requests: Vec<ReqView>) -> SchedContext {
-        SchedContext {
-            now: SimTime::ZERO,
-            requests,
-            gpu_free_tokens: 10_000,
-            gpu_total_tokens: 20_000,
-            d2h_queue_len: 0,
-            h2d_queue_len: 0,
-            d2h_eta: SimDuration::ZERO,
-            h2d_eta: SimDuration::ZERO,
-            prefill_secs_per_token: 1e-4,
-            decode_throughput: 2_000.0,
-            pcie_bandwidth: 25e9,
-            kv_bytes_per_token: 131_072,
-            max_batch: 64,
-        }
+        SchedContextBuilder::new(SimTime::ZERO)
+            .requests(requests)
+            .memory(10_000, 20_000)
+            .profile(1e-4, 2_000.0)
+            .link(25e9, 131_072)
+            .max_batch(64)
+            .build()
     }
 
     #[test]

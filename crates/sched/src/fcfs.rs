@@ -74,7 +74,7 @@ impl Scheduler for FcfsScheduler {
 mod tests {
     use super::*;
     use crate::api::{Action, ReqPhase, ReqView};
-    use tokenflow_sim::{RequestId, SimDuration, SimTime};
+    use tokenflow_sim::{RequestId, SimTime};
 
     fn view(id: u64, phase: ReqPhase) -> ReqView {
         ReqView {
@@ -97,21 +97,13 @@ mod tests {
     }
 
     fn ctx(requests: Vec<ReqView>, free: u64) -> SchedContext {
-        SchedContext {
-            now: SimTime::ZERO,
-            requests,
-            gpu_free_tokens: free,
-            gpu_total_tokens: 20_000,
-            d2h_queue_len: 0,
-            h2d_queue_len: 0,
-            d2h_eta: SimDuration::ZERO,
-            h2d_eta: SimDuration::ZERO,
-            prefill_secs_per_token: 1e-4,
-            decode_throughput: 2_000.0,
-            pcie_bandwidth: 25e9,
-            kv_bytes_per_token: 131_072,
-            max_batch: 64,
-        }
+        crate::api::SchedContextBuilder::new(SimTime::ZERO)
+            .requests(requests)
+            .memory(free, 20_000)
+            .profile(1e-4, 2_000.0)
+            .link(25e9, 131_072)
+            .max_batch(64)
+            .build()
     }
 
     #[test]

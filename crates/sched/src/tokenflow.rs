@@ -100,6 +100,7 @@ impl Default for TokenFlowParams {
 pub struct TokenFlowScheduler {
     params: TokenFlowParams,
     last_schedule: Option<SimTime>,
+    scratch: PassScratch,
 }
 
 #[derive(Debug, Clone)]
@@ -117,6 +118,37 @@ struct Candidate {
     safe_to_preempt: bool,
 }
 
+/// Retained working buffers of the full scheduling pass. Everything is
+/// cleared and refilled per pass, so repeated passes allocate nothing
+/// once the buffers reach the candidate population's high-water mark.
+#[derive(Debug, Clone, Default)]
+struct PassScratch {
+    /// Candidates in context (id) order.
+    candidates: Vec<Candidate>,
+    /// Candidates in priority order — the working list of the pass.
+    sorted: Vec<Candidate>,
+    /// The priority-order permutation over `candidates`.
+    order: Vec<u32>,
+    /// Sort keys of the current pass, in `candidates` order.
+    keys: Vec<(f64, SimTime, RequestId)>,
+    /// Sort keys the cached `order` was computed from: when a pass sees
+    /// the identical candidate set and key inputs, the comparison sort
+    /// is skipped and the cached permutation reapplied.
+    last_keys: Vec<(f64, SimTime, RequestId)>,
+    /// `WaitingNew` candidate indices in arrival order.
+    new_by_arrival: Vec<usize>,
+    /// Candidates denied service by the Σrᵢ ≤ Γ cap this pass.
+    rate_blocked: Vec<bool>,
+    /// Selected working-set members, in selection order.
+    selected: Vec<usize>,
+    /// Membership mask mirroring `selected`.
+    in_selected: Vec<bool>,
+    /// Swap candidates of one local-search round.
+    unselected: Vec<usize>,
+    /// Admission-bound selected indices, sorted by arrival.
+    admits: Vec<usize>,
+}
+
 impl TokenFlowScheduler {
     /// Creates the scheduler with default parameters.
     pub fn new() -> Self {
@@ -128,6 +160,7 @@ impl TokenFlowScheduler {
         TokenFlowScheduler {
             params,
             last_schedule: None,
+            scratch: PassScratch::default(),
         }
     }
 
@@ -141,15 +174,12 @@ impl TokenFlowScheduler {
         // β: observed per-request memory footprint — the *current* context
         // length (the working set overcommits against future growth; the
         // buffer-balancing step reclaims memory as contexts grow).
-        let live: Vec<f64> = ctx
-            .requests
-            .iter()
-            .map(|r| r.context_tokens as f64)
-            .collect();
-        let beta = if live.is_empty() {
+        let live_n = ctx.requests.len();
+        let beta = if live_n == 0 {
             1_024.0
         } else {
-            (live.iter().sum::<f64>() / live.len() as f64).max(64.0)
+            let sum: f64 = ctx.requests.iter().map(|r| r.context_tokens as f64).sum();
+            (sum / live_n as f64).max(64.0)
         };
         let m = ctx.gpu_total_tokens as f64 * self.params.util_target;
         let w_static = (m / beta).floor().max(1.0);
@@ -223,6 +253,10 @@ impl TokenFlowScheduler {
     }
 
     fn full_pass(&mut self, ctx: &SchedContext) -> SchedPlan {
+        // The scratch moves out for the pass so `self`'s parameter
+        // methods stay borrowable; it moves back (with its capacity) at
+        // the end.
+        let mut sc = std::mem::take(&mut self.scratch);
         let w_sched = self.working_set_size(ctx);
         // Discount memory already committed to transitioning requests
         // (loads in flight, prompts mid-prefill).
@@ -234,35 +268,55 @@ impl TokenFlowScheduler {
             .saturating_sub(committed);
 
         // Build candidates: everything schedulable this pass.
-        let mut candidates: Vec<Candidate> = ctx
-            .requests
-            .iter()
-            .filter(|r| {
-                matches!(
-                    r.phase,
-                    ReqPhase::Running | ReqPhase::WaitingNew | ReqPhase::WaitingCpu
-                )
-            })
-            .map(|r| Candidate {
-                id: r.id,
-                phase: r.phase,
-                priority: self.utility(r, ctx),
-                cost: admission_cost(r, self.params.headroom_tokens),
-                rate: r.rate,
-                elastic: r.elastic,
-                arrival: r.arrival,
-                prefer_recompute: r.phase == ReqPhase::WaitingCpu
-                    && ctx.recompute_secs(r.context_tokens) < r.load_secs,
-                safe_to_preempt: r.phase == ReqPhase::Running && self.safe_to_preempt(r),
-            })
-            .collect();
-        candidates.sort_by(|a, b| {
-            b.priority
-                .partial_cmp(&a.priority)
-                .expect("priorities are finite")
-                .then(a.arrival.cmp(&b.arrival))
-                .then(a.id.cmp(&b.id))
-        });
+        sc.candidates.clear();
+        sc.candidates.extend(
+            ctx.requests
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.phase,
+                        ReqPhase::Running | ReqPhase::WaitingNew | ReqPhase::WaitingCpu
+                    )
+                })
+                .map(|r| Candidate {
+                    id: r.id,
+                    phase: r.phase,
+                    priority: self.utility(r, ctx),
+                    cost: admission_cost(r, self.params.headroom_tokens),
+                    rate: r.rate,
+                    elastic: r.elastic,
+                    arrival: r.arrival,
+                    prefer_recompute: r.phase == ReqPhase::WaitingCpu
+                        && ctx.recompute_secs(r.context_tokens) < r.load_secs,
+                    safe_to_preempt: r.phase == ReqPhase::Running && self.safe_to_preempt(r),
+                }),
+        );
+        // Priority order, via a cached permutation: when the candidate
+        // set and every sort-key input match the previous pass exactly,
+        // re-sorting must produce the identical permutation (the
+        // comparator is a total order over the keys), so the sort is
+        // skipped and the cached order reapplied.
+        sc.keys.clear();
+        sc.keys
+            .extend(sc.candidates.iter().map(|c| (c.priority, c.arrival, c.id)));
+        if sc.keys != sc.last_keys {
+            sc.order.clear();
+            sc.order.extend(0..sc.candidates.len() as u32);
+            let cand = &sc.candidates;
+            sc.order.sort_unstable_by(|&x, &y| {
+                let (a, b) = (&cand[x as usize], &cand[y as usize]);
+                b.priority
+                    .partial_cmp(&a.priority)
+                    .expect("priorities are finite")
+                    .then(a.arrival.cmp(&b.arrival))
+                    .then(a.id.cmp(&b.id))
+            });
+            std::mem::swap(&mut sc.last_keys, &mut sc.keys);
+        }
+        sc.sorted.clear();
+        sc.sorted
+            .extend(sc.order.iter().map(|&i| sc.candidates[i as usize].clone()));
+        let candidates = &sc.sorted;
 
         // §4.3 schedulability: the *service set* — every request being
         // actively multiplexed, resident or offloaded — may not demand more
@@ -283,12 +337,14 @@ impl TokenFlowScheduler {
             })
             .map(|r| if r.elastic { 0.25 * r.rate } else { r.rate })
             .sum();
-        let mut new_by_arrival: Vec<usize> = (0..candidates.len())
-            .filter(|&i| candidates[i].phase == ReqPhase::WaitingNew)
-            .collect();
-        new_by_arrival.sort_by_key(|&i| (candidates[i].arrival, candidates[i].id));
-        let mut rate_blocked: Vec<bool> = vec![false; candidates.len()];
-        for i in new_by_arrival {
+        sc.new_by_arrival.clear();
+        sc.new_by_arrival
+            .extend((0..candidates.len()).filter(|&i| candidates[i].phase == ReqPhase::WaitingNew));
+        sc.new_by_arrival
+            .sort_by_key(|&i| (candidates[i].arrival, candidates[i].id));
+        sc.rate_blocked.clear();
+        sc.rate_blocked.resize(candidates.len(), false);
+        for &i in &sc.new_by_arrival {
             // Elastic agents reserve only a sliver of their reference rate:
             // they can be throttled arbitrarily, so they never crowd out
             // interactive admission (§8).
@@ -300,21 +356,26 @@ impl TokenFlowScheduler {
             if service_rate + reserve <= gamma {
                 service_rate += reserve;
             } else {
-                rate_blocked[i] = true;
+                sc.rate_blocked[i] = true;
             }
         }
 
         // Pin running requests that cannot be preempted safely: they stay in
         // the working set regardless of rank (preempting them would stall
-        // their reader immediately).
-        let mut selected: Vec<usize> = Vec::new();
+        // their reader immediately). `selected` keeps selection order (the
+        // local search's weakest-member scan depends on it); `in_selected`
+        // mirrors it as a mask so membership tests are O(1).
+        sc.selected.clear();
+        sc.in_selected.clear();
+        sc.in_selected.resize(candidates.len(), false);
         let mut used = 0u64;
         let mut slots = w_sched
             .saturating_sub(ctx.count_phase(ReqPhase::Transitioning))
             .max(1);
         for (i, c) in candidates.iter().enumerate() {
             if c.phase == ReqPhase::Running && !c.safe_to_preempt && slots > 0 {
-                selected.push(i);
+                sc.selected.push(i);
+                sc.in_selected[i] = true;
                 used += c.cost;
                 slots -= 1;
             }
@@ -326,13 +387,14 @@ impl TokenFlowScheduler {
             if slots == 0 {
                 break;
             }
-            if selected.contains(&i) || rate_blocked[i] {
+            if sc.in_selected[i] || sc.rate_blocked[i] {
                 continue;
             }
             if used + c.cost > budget_total {
                 continue;
             }
-            selected.push(i);
+            sc.selected.push(i);
+            sc.in_selected[i] = true;
             used += c.cost;
             slots -= 1;
         }
@@ -342,12 +404,14 @@ impl TokenFlowScheduler {
         let mut improved = true;
         while improved {
             improved = false;
-            let unselected: Vec<usize> = (0..candidates.len())
-                .filter(|i| !selected.contains(i) && !rate_blocked[*i])
-                .collect();
-            for &j in &unselected {
+            sc.unselected.clear();
+            sc.unselected.extend(
+                (0..candidates.len()).filter(|&i| !sc.in_selected[i] && !sc.rate_blocked[i]),
+            );
+            for &j in &sc.unselected {
                 // Find the weakest swappable selected entry.
-                let weakest = selected
+                let weakest = sc
+                    .selected
                     .iter()
                     .copied()
                     .filter(|&i| {
@@ -364,8 +428,10 @@ impl TokenFlowScheduler {
                 let gain = candidates[j].priority - candidates[i].priority;
                 let new_used = used - candidates[i].cost + candidates[j].cost;
                 if gain > 1e-12 && new_used <= budget_total {
-                    selected.retain(|&k| k != i);
-                    selected.push(j);
+                    sc.selected.retain(|&k| k != i);
+                    sc.in_selected[i] = false;
+                    sc.selected.push(j);
+                    sc.in_selected[j] = true;
                     used = new_used;
                     improved = true;
                     break;
@@ -380,10 +446,9 @@ impl TokenFlowScheduler {
         let mut transitions = 0usize;
         let mut actions = Vec::new();
 
-        let selected_ids: Vec<RequestId> = selected.iter().map(|&i| candidates[i].id).collect();
         // Preemptions first: they free the memory admissions need.
-        for c in &candidates {
-            if c.phase == ReqPhase::Running && !selected_ids.contains(&c.id) {
+        for (i, c) in candidates.iter().enumerate() {
+            if c.phase == ReqPhase::Running && !sc.in_selected[i] {
                 if !c.safe_to_preempt || io_loaded || transitions >= self.params.max_transitions {
                     continue;
                 }
@@ -394,18 +459,21 @@ impl TokenFlowScheduler {
                 transitions += 1;
             }
         }
-        let mut admits: Vec<&Candidate> = candidates
-            .iter()
-            .filter(|c| {
-                selected_ids.contains(&c.id)
-                    && matches!(c.phase, ReqPhase::WaitingNew | ReqPhase::WaitingCpu)
-            })
-            .collect();
-        admits.sort_by_key(|c| (c.arrival, c.id));
-        for c in admits {
+        sc.admits.clear();
+        sc.admits.extend((0..candidates.len()).filter(|&i| {
+            sc.in_selected[i]
+                && matches!(
+                    candidates[i].phase,
+                    ReqPhase::WaitingNew | ReqPhase::WaitingCpu
+                )
+        }));
+        sc.admits
+            .sort_by_key(|&i| (candidates[i].arrival, candidates[i].id));
+        for &i in &sc.admits {
             if transitions >= self.params.max_transitions {
                 break;
             }
+            let c = &candidates[i];
             actions.push(match (c.phase, c.prefer_recompute) {
                 (ReqPhase::WaitingNew, _) => Action::AdmitPrefill(c.id),
                 (ReqPhase::WaitingCpu, true) => Action::AdmitPrefill(c.id),
@@ -414,6 +482,7 @@ impl TokenFlowScheduler {
             });
             transitions += 1;
         }
+        self.scratch = sc;
         SchedPlan { actions }
     }
 }
@@ -513,21 +582,13 @@ mod tests {
     }
 
     fn ctx(requests: Vec<ReqView>, free: u64, total: u64) -> SchedContext {
-        SchedContext {
-            now: SimTime::from_secs(100),
-            requests,
-            gpu_free_tokens: free,
-            gpu_total_tokens: total,
-            d2h_queue_len: 0,
-            h2d_queue_len: 0,
-            d2h_eta: SimDuration::ZERO,
-            h2d_eta: SimDuration::ZERO,
-            prefill_secs_per_token: 1e-4,
-            decode_throughput: 2_000.0,
-            pcie_bandwidth: 25e9,
-            kv_bytes_per_token: 131_072,
-            max_batch: 64,
-        }
+        crate::api::SchedContextBuilder::new(SimTime::from_secs(100))
+            .requests(requests)
+            .memory(free, total)
+            .profile(1e-4, 2_000.0)
+            .link(25e9, 131_072)
+            .max_batch(64)
+            .build()
     }
 
     fn running_with_buffer(id: u64, buffered_secs: f64) -> ReqView {
