@@ -1,0 +1,73 @@
+//! The spec-driven sweep experiment: run the committed
+//! `scenarios/sweep_policy_workload.json` grid through the scenario
+//! layer — the declarative replacement for hand-wired comparison mains.
+//!
+//! `cargo run -p tokenflow-bench --bin experiments -- sweep` executes
+//! the ≥6-cell scheduler × workload grid and renders the standard
+//! comparison table; `tokenflow sweep <file>` runs any other grid the
+//! same way.
+
+use std::path::PathBuf;
+
+use tokenflow_scenario::{json, run_sweep, sweep_from_json, sweep_table};
+
+/// Locates the committed sweep file from either the workspace root (CI)
+/// or the crate directory (cargo test).
+pub fn committed_sweep_path() -> PathBuf {
+    let local = PathBuf::from("scenarios/sweep_policy_workload.json");
+    if local.exists() {
+        return local;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/sweep_policy_workload.json")
+}
+
+/// Runs the committed policy × workload sweep and renders its table.
+///
+/// # Panics
+///
+/// Panics (failing the CI step, like every sibling experiment) when the
+/// committed file is unreadable, malformed, below the 6-cell acceptance
+/// bar, or any cell fails to run to completion — a swallowed error here
+/// would leave the CI gate green while testing nothing.
+pub fn sweep() -> String {
+    let path = committed_sweep_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let spec = sweep_from_json(&doc).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    assert!(
+        spec.cells() >= 6,
+        "{}: grid shrank below the 6-cell acceptance bar ({} cells)",
+        path.display(),
+        spec.cells()
+    );
+    let mut out = format!(
+        "sweep `{}` from {}: {} cells\n\n",
+        spec.name,
+        path.display(),
+        spec.cells()
+    );
+    let cells = run_sweep(&spec).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    for cell in &cells {
+        assert!(cell.outcome.complete, "cell `{}` incomplete", cell.label);
+    }
+    out.push_str(&sweep_table(&cells));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokenflow_scenario::parse_sweep;
+
+    #[test]
+    fn committed_sweep_runs_at_least_six_cells() {
+        let text = std::fs::read_to_string(committed_sweep_path()).expect("sweep file");
+        let spec = parse_sweep(&text).expect("valid sweep");
+        assert!(spec.cells() >= 6, "grid shrank to {}", spec.cells());
+        let cells = run_sweep(&spec).expect("runs");
+        assert_eq!(cells.len(), spec.cells());
+        assert!(cells.iter().all(|c| c.outcome.complete));
+    }
+}

@@ -1,9 +1,8 @@
 //! Shared experiment-running utilities.
 
 use tokenflow_core::{run_simulation_boxed, EngineConfig, SimOutcome};
-use tokenflow_sched::{
-    AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowScheduler,
-};
+use tokenflow_scenario::{json::Json, scheduler_from_json};
+use tokenflow_sched::Scheduler;
 use tokenflow_workload::Workload;
 
 use crate::table::{f, Table};
@@ -11,19 +10,17 @@ use crate::table::{f, Table};
 /// The four evaluated systems, in the paper's legend order.
 pub const SYSTEMS: [&str; 4] = ["chunked", "fcfs", "andes", "tokenflow"];
 
-/// Builds one of the four evaluated schedulers by key.
+/// Builds one of the four evaluated schedulers by key, through the
+/// scenario layer's canonical construction path (the keys are exactly
+/// the spec grammar's `scheduler.type` names).
 ///
 /// # Panics
 ///
 /// Panics on an unknown key.
 pub fn make_scheduler(which: &str) -> Box<dyn Scheduler> {
-    match which {
-        "fcfs" => Box::new(FcfsScheduler::new()),
-        "chunked" => Box::new(ChunkedPrefillScheduler::new()),
-        "andes" => Box::new(AndesScheduler::new()),
-        "tokenflow" => Box::new(TokenFlowScheduler::new()),
-        other => panic!("unknown scheduler {other}"),
-    }
+    scheduler_from_json(&Json::Str(which.to_string()), "scheduler")
+        .unwrap_or_else(|e| panic!("{e}"))
+        .build_scheduler()
 }
 
 /// Runs one (config, scheduler, workload) cell.

@@ -131,6 +131,24 @@ impl ModelProfile {
         // 2 matmuls × 2 FLOPs per MAC × (kv_heads × head_dim) per layer.
         4.0 * self.layers as f64 * context as f64 * (self.heads as f64 * self.head_dim as f64)
     }
+
+    /// All built-in profiles, handy for sweeps (mirrors
+    /// `HardwareProfile::all`).
+    pub fn all() -> Vec<ModelProfile> {
+        vec![
+            Self::llama3_8b(),
+            Self::qwen2_7b(),
+            Self::qwen2_5_7b(),
+            Self::qwen2_5_32b(),
+        ]
+    }
+
+    /// Looks a profile up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<ModelProfile> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,492 @@
+//! Cartesian sweeps: one spec file, a grid of scenarios.
+//!
+//! A sweep document is a base [`ScenarioSpec`] plus `axes` — lists of
+//! alternatives for any subset of {model, hardware, scheduler, workload,
+//! router, policy}. Expansion takes the cartesian product in that fixed
+//! axis order, overriding the base one axis at a time, so a
+//! `{scheduler: [4], workload: [2]}` document is the paper's 4-system ×
+//! 2-trace comparison grid as data:
+//!
+//! ```json
+//! {
+//!   "name": "policy-x-workload",
+//!   "base": { "engine": {"max_batch": 16} },
+//!   "axes": {
+//!     "scheduler": ["fcfs", "tokenflow"],
+//!     "workload": [{"type": "preset", "name": "rtx4090-a"}]
+//!   }
+//! }
+//! ```
+//!
+//! Router and policy axes require a topology that has the corresponding
+//! slot (cluster/autoscaled); expansion reports a typed error otherwise
+//! instead of silently ignoring the axis.
+
+use crate::build::RunOutcome;
+use crate::codec::{
+    policy_from_json, router_from_json, scenario_from_json, scheduler_from_json,
+    workload_from_json, SpecError,
+};
+use crate::json::{self, obj, s, Json};
+use crate::spec::{
+    RouterSpec, ScalePolicySpec, ScenarioSpec, SchedulerSpec, TopologySpec, WorkloadSpec,
+    HARDWARE_NAMES, MODEL_NAMES,
+};
+
+/// Valid axis names, in expansion order.
+pub const AXIS_NAMES: &[&str] = &[
+    "model",
+    "hardware",
+    "scheduler",
+    "workload",
+    "router",
+    "policy",
+];
+
+/// One swept axis: which field varies and over what values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Model profile names.
+    Model(Vec<String>),
+    /// Hardware profile names.
+    Hardware(Vec<String>),
+    /// Scheduler specs.
+    Scheduler(Vec<SchedulerSpec>),
+    /// Workload specs.
+    Workload(Vec<WorkloadSpec>),
+    /// Router specs (cluster/autoscaled topologies only).
+    Router(Vec<RouterSpec>),
+    /// Scale-policy specs (autoscaled topologies only).
+    Policy(Vec<ScalePolicySpec>),
+}
+
+impl Axis {
+    fn len(&self) -> usize {
+        match self {
+            Axis::Model(v) => v.len(),
+            Axis::Hardware(v) => v.len(),
+            Axis::Scheduler(v) => v.len(),
+            Axis::Workload(v) => v.len(),
+            Axis::Router(v) => v.len(),
+            Axis::Policy(v) => v.len(),
+        }
+    }
+
+    /// Human label of one value on this axis.
+    fn label(&self, i: usize) -> String {
+        match self {
+            Axis::Model(v) => v[i].clone(),
+            Axis::Hardware(v) => v[i].clone(),
+            Axis::Scheduler(v) => v[i].type_name().to_string(),
+            Axis::Workload(v) => match &v[i] {
+                WorkloadSpec::Preset { name, .. } => name.clone(),
+                other => other.type_name().to_string(),
+            },
+            Axis::Router(v) => v[i].type_name().to_string(),
+            Axis::Policy(v) => v[i].type_name().to_string(),
+        }
+    }
+
+    /// Applies value `i` of this axis onto `spec`.
+    fn apply(&self, i: usize, spec: &mut ScenarioSpec) -> Result<(), SpecError> {
+        match self {
+            Axis::Model(v) => spec.model = v[i].clone(),
+            Axis::Hardware(v) => spec.hardware = v[i].clone(),
+            Axis::Scheduler(v) => spec.scheduler = v[i].clone(),
+            Axis::Workload(v) => spec.workload = v[i].clone(),
+            Axis::Router(v) => match &mut spec.topology {
+                TopologySpec::Cluster { router, .. } | TopologySpec::Autoscaled { router, .. } => {
+                    *router = v[i]
+                }
+                TopologySpec::Single => {
+                    return Err(SpecError::Invalid {
+                        field: "axes.router".to_string(),
+                        msg: "a router axis needs a cluster or autoscaled base topology"
+                            .to_string(),
+                    })
+                }
+            },
+            Axis::Policy(v) => match &mut spec.topology {
+                TopologySpec::Autoscaled { policy, .. } => *policy = v[i].clone(),
+                _ => {
+                    return Err(SpecError::Invalid {
+                        field: "axes.policy".to_string(),
+                        msg: "a policy axis needs an autoscaled base topology".to_string(),
+                    })
+                }
+            },
+        }
+        Ok(())
+    }
+}
+
+/// A sweep document: a base scenario plus the axes to vary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (lands in the emitted grid report).
+    pub name: String,
+    /// The scenario every cell starts from.
+    pub base: ScenarioSpec,
+    /// Swept axes, in expansion order.
+    pub axes: Vec<Axis>,
+}
+
+impl SweepSpec {
+    /// Total cell count of the grid: the product of the axis lengths —
+    /// 1 with no axes (the base itself), 0 when any axis is empty
+    /// (matching what [`SweepSpec::expand`] returns).
+    pub fn cells(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+
+    /// Expands the cartesian product into `(label, scenario)` cells.
+    pub fn expand(&self) -> Result<Vec<(String, ScenarioSpec)>, SpecError> {
+        let mut cells = vec![(Vec::<String>::new(), self.base.clone())];
+        for axis in &self.axes {
+            let mut next = Vec::with_capacity(cells.len() * axis.len());
+            for (labels, spec) in &cells {
+                for i in 0..axis.len() {
+                    let mut spec = spec.clone();
+                    axis.apply(i, &mut spec)?;
+                    let mut labels = labels.clone();
+                    labels.push(axis.label(i));
+                    next.push((labels, spec));
+                }
+            }
+            cells = next;
+        }
+        Ok(cells
+            .into_iter()
+            .map(|(labels, mut spec)| {
+                let label = if labels.is_empty() {
+                    spec.name.clone()
+                } else {
+                    labels.join(" × ")
+                };
+                spec.name = format!("{}/{label}", self.name);
+                (label, spec)
+            })
+            .collect())
+    }
+
+    /// Rebases relative file paths in the base scenario (see
+    /// `ScenarioSpec::rebase_paths`) and in every workload-axis value.
+    pub fn rebase_paths(&mut self, base_dir: &std::path::Path) {
+        self.base.rebase_paths(base_dir);
+        for axis in &mut self.axes {
+            if let Axis::Workload(values) = axis {
+                for w in values {
+                    w.rebase_paths(base_dir);
+                }
+            }
+        }
+    }
+}
+
+/// Whether a parsed JSON document is a sweep (has `axes`) rather than a
+/// single scenario.
+pub fn is_sweep(doc: &Json) -> bool {
+    doc.get("axes").is_some()
+}
+
+/// Parses a [`SweepSpec`] from JSON text.
+pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
+    let doc = json::parse(text)?;
+    sweep_from_json(&doc)
+}
+
+/// Parses a [`SweepSpec`] from an already-parsed document.
+pub fn sweep_from_json(doc: &Json) -> Result<SweepSpec, SpecError> {
+    let members = doc.as_obj().ok_or_else(|| SpecError::Invalid {
+        field: "sweep".to_string(),
+        msg: "expected an object".to_string(),
+    })?;
+    for (k, _) in members {
+        if !["name", "base", "axes"].contains(&k.as_str()) {
+            return Err(SpecError::UnknownField {
+                field: format!("sweep.{k}"),
+                valid: vec!["name".to_string(), "base".to_string(), "axes".to_string()],
+            });
+        }
+    }
+    let name = match doc.get("name") {
+        None => "sweep".to_string(),
+        Some(j) => j
+            .as_str()
+            .ok_or_else(|| SpecError::Invalid {
+                field: "sweep.name".to_string(),
+                msg: "expected a string".to_string(),
+            })?
+            .to_string(),
+    };
+    let base = match doc.get("base") {
+        None => ScenarioSpec::default(),
+        Some(j) => scenario_from_json(j, "sweep.base")?,
+    };
+    let axes_json = doc.get("axes").ok_or_else(|| SpecError::Invalid {
+        field: "sweep.axes".to_string(),
+        msg: "a sweep needs an axes object".to_string(),
+    })?;
+    let axis_members = axes_json.as_obj().ok_or_else(|| SpecError::Invalid {
+        field: "sweep.axes".to_string(),
+        msg: "expected an object".to_string(),
+    })?;
+    // Fixed expansion order regardless of authored order, so a sweep's
+    // cell order is deterministic and documented.
+    let mut axes = Vec::new();
+    for &axis_name in AXIS_NAMES {
+        let Some(values_json) = axes_json.get(axis_name) else {
+            continue;
+        };
+        let path = format!("sweep.axes.{axis_name}");
+        let values = values_json.as_arr().ok_or_else(|| SpecError::Invalid {
+            field: path.clone(),
+            msg: "expected an array".to_string(),
+        })?;
+        if values.is_empty() {
+            return Err(SpecError::Invalid {
+                field: path,
+                msg: "axis must be non-empty".to_string(),
+            });
+        }
+        let axis = match axis_name {
+            "model" => Axis::Model(name_axis(values, &path, MODEL_NAMES)?),
+            "hardware" => Axis::Hardware(name_axis(values, &path, HARDWARE_NAMES)?),
+            "scheduler" => Axis::Scheduler(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| scheduler_from_json(v, &format!("{path}[{i}]")))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "workload" => Axis::Workload(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| workload_from_json(v, &format!("{path}[{i}]")))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "router" => Axis::Router(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| router_from_json(v, &format!("{path}[{i}]")))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "policy" => Axis::Policy(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| policy_from_json(v, &format!("{path}[{i}]")))
+                    .collect::<Result<_, _>>()?,
+            ),
+            _ => unreachable!("AXIS_NAMES is exhaustive"),
+        };
+        axes.push(axis);
+    }
+    for (k, _) in axis_members {
+        if !AXIS_NAMES.contains(&k.as_str()) {
+            return Err(SpecError::UnknownName {
+                field: "sweep.axes".to_string(),
+                got: k.clone(),
+                valid: AXIS_NAMES.iter().map(|a| a.to_string()).collect(),
+            });
+        }
+    }
+    Ok(SweepSpec { name, base, axes })
+}
+
+fn name_axis(values: &[Json], path: &str, valid: &[&str]) -> Result<Vec<String>, SpecError> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let name = v.as_str().ok_or_else(|| SpecError::Invalid {
+                field: format!("{path}[{i}]"),
+                msg: "expected a string".to_string(),
+            })?;
+            valid
+                .iter()
+                .find(|c| c.eq_ignore_ascii_case(name))
+                .map(|c| c.to_string())
+                .ok_or_else(|| SpecError::UnknownName {
+                    field: format!("{path}[{i}]"),
+                    got: name.to_string(),
+                    valid: valid.iter().map(|c| c.to_string()).collect(),
+                })
+        })
+        .collect()
+}
+
+/// One executed sweep cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Cell label, e.g. `"tokenflow × rtx4090-a"`.
+    pub label: String,
+    /// The cell's outcome.
+    pub outcome: RunOutcome,
+}
+
+/// Expands and runs a whole sweep, in cell order.
+pub fn run_sweep(sweep: &SweepSpec) -> Result<Vec<SweepCell>, SpecError> {
+    sweep
+        .expand()?
+        .into_iter()
+        .map(|(label, spec)| {
+            Ok(SweepCell {
+                label,
+                outcome: spec.build()?.run(),
+            })
+        })
+        .collect()
+}
+
+/// Renders sweep results as a JSON grid report.
+pub fn sweep_to_json(sweep: &SweepSpec, cells: &[SweepCell]) -> Json {
+    obj(vec![
+        ("sweep", s(&sweep.name)),
+        ("cells", {
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        let mut members = vec![("label".to_string(), s(&c.label))];
+                        if let Json::Obj(outcome) = c.outcome.to_json() {
+                            members.extend(outcome);
+                        }
+                        Json::Obj(members)
+                    })
+                    .collect(),
+            )
+        }),
+    ])
+}
+
+/// Renders sweep results as an aligned text table.
+pub fn sweep_table(cells: &[SweepCell]) -> String {
+    let headers = [
+        "cell",
+        "topology",
+        "completed",
+        "eff thpt",
+        "mean TTFT",
+        "p99 TTFT",
+        "rebuffer",
+        "replica-s",
+        "complete",
+    ];
+    let mut rows: Vec<Vec<String>> = vec![headers.iter().map(|h| h.to_string()).collect()];
+    for c in cells {
+        let r = &c.outcome.report;
+        rows.push(vec![
+            c.label.clone(),
+            c.outcome.topology.clone(),
+            format!("{}/{}", r.completed, r.submitted),
+            format!("{:.1}", r.effective_throughput),
+            format!("{:.2}", r.ttft.mean),
+            format!("{:.2}", r.ttft.p99),
+            format!("{:.1}", r.total_rebuffer_secs),
+            format!("{:.0}", r.replica_seconds),
+            c.outcome.complete.to_string(),
+        ]);
+    }
+    let widths: Vec<usize> = (0..headers.len())
+        .map(|i| rows.iter().map(|r| r[i].len()).max().unwrap_or(0))
+        .collect();
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+        "name": "grid",
+        "base": {
+            "engine": {"max_batch": 8},
+            "workload": {"type": "synthetic",
+                         "arrivals": {"type": "burst", "size": 6, "at_secs": 0},
+                         "prompt": {"type": "fixed", "tokens": 64},
+                         "output": {"type": "fixed", "tokens": 32},
+                         "rate": {"type": "fixed", "rate": 15.0},
+                         "seed": 1}
+        },
+        "axes": {
+            "scheduler": ["fcfs", "tokenflow", "andes"],
+            "workload": [
+                {"type": "synthetic",
+                 "arrivals": {"type": "burst", "size": 4, "at_secs": 0},
+                 "prompt": {"type": "fixed", "tokens": 64},
+                 "output": {"type": "fixed", "tokens": 16},
+                 "rate": {"type": "fixed", "rate": 15.0}, "seed": 2},
+                {"type": "synthetic",
+                 "arrivals": {"type": "burst", "size": 2, "at_secs": 0},
+                 "prompt": {"type": "fixed", "tokens": 32},
+                 "output": {"type": "fixed", "tokens": 16},
+                 "rate": {"type": "fixed", "rate": 15.0}, "seed": 3}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn expands_the_cartesian_product_in_axis_order() {
+        let sweep = parse_sweep(DOC).unwrap();
+        assert_eq!(sweep.cells(), 6);
+        let cells = sweep.expand().unwrap();
+        assert_eq!(cells.len(), 6);
+        // Scheduler is the outer axis, workload the inner.
+        assert_eq!(cells[0].0, "fcfs × synthetic");
+        assert_eq!(cells[1].0, "fcfs × synthetic");
+        assert_eq!(cells[2].0, "tokenflow × synthetic");
+        assert!(cells.iter().all(|(_, s)| s.name.starts_with("grid/")));
+    }
+
+    #[test]
+    fn runs_every_cell() {
+        let sweep = parse_sweep(DOC).unwrap();
+        let cells = run_sweep(&sweep).unwrap();
+        assert_eq!(cells.len(), 6);
+        assert!(cells.iter().all(|c| c.outcome.complete));
+        let table = sweep_table(&cells);
+        assert_eq!(table.lines().count(), 7, "{table}");
+        let grid = sweep_to_json(&sweep, &cells);
+        assert_eq!(grid.get("cells").unwrap().as_arr().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn router_axis_requires_cluster_topology() {
+        let doc = r#"{"axes": {"router": ["round-robin", "rate-aware"]}}"#;
+        let err = parse_sweep(doc).unwrap().expand().unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { ref field, .. }
+            if field == "axes.router"));
+    }
+
+    #[test]
+    fn unknown_axis_lists_valid_ones() {
+        let err = parse_sweep(r#"{"axes": {"flux": [1]}}"#).unwrap_err();
+        match err {
+            SpecError::UnknownName { got, valid, .. } => {
+                assert_eq!(got, "flux");
+                assert_eq!(valid, AXIS_NAMES.to_vec());
+            }
+            other => panic!("expected UnknownName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_sweep_distinguishes_documents() {
+        assert!(is_sweep(&json::parse(DOC).unwrap()));
+        assert!(!is_sweep(&json::parse(r#"{"name": "x"}"#).unwrap()));
+    }
+}

@@ -66,6 +66,22 @@ pub struct TokenFlowParams {
     pub capacity_safety: f64,
     /// Prefill chunk size mixed into decode iterations.
     pub prefill_chunk: u64,
+    /// Cap on swap candidates examined per local-search round, `0` =
+    /// unbounded (the historical behavior — existing seeded runs are
+    /// byte-identical under the default).
+    ///
+    /// The §4.2.2 local search is the full pass's last super-linear
+    /// corner: each round scans every unselected candidate against the
+    /// weakest selected member, so thousands of simultaneous candidates
+    /// cost O(n²) per pass. Candidates are already held in priority
+    /// order (the pass's cached sort permutation), so the top-k swap
+    /// candidates are a prefix — no separate heap selection needed —
+    /// and a bound of `k` caps a round at O(n + k·|selected|). The cap
+    /// is an *approximation*: swap acceptance also requires memory
+    /// feasibility, which is not monotone in priority rank, so a
+    /// feasible lower-ranked candidate beyond the prefix may be skipped
+    /// even though the unbounded scan would have accepted it.
+    pub swap_candidates: usize,
 }
 
 impl Default for TokenFlowParams {
@@ -82,6 +98,7 @@ impl Default for TokenFlowParams {
             io_backpressure: 1.0,
             capacity_safety: 0.8,
             prefill_chunk: 2_048,
+            swap_candidates: 0,
         }
     }
 }
@@ -408,6 +425,16 @@ impl TokenFlowScheduler {
             sc.unselected.extend(
                 (0..candidates.len()).filter(|&i| !sc.in_selected[i] && !sc.rate_blocked[i]),
             );
+            // Optional O(n²) cap: `candidates` is in priority order, so
+            // the top-k swap candidates are simply the first k unselected
+            // entries — the prefix a full scan would try first. This is
+            // an approximation, not an equivalence: a candidate beyond
+            // the prefix can pass the memory-feasibility check below when
+            // every prefix entry fails it, so the bounded round may end
+            // without a swap the full scan would have made.
+            if self.params.swap_candidates > 0 {
+                sc.unselected.truncate(self.params.swap_candidates);
+            }
             for &j in &sc.unselected {
                 // Find the weakest swappable selected entry.
                 let weakest = sc
@@ -790,6 +817,54 @@ mod tests {
         let empty = running_with_buffer(0, 0.0);
         let full = running_with_buffer(1, 30.0);
         assert!(s.utility(&empty, &c) > s.utility(&full, &c));
+    }
+
+    /// A stress population for the local-search bound: many preemptable
+    /// running requests holding fat buffers, many waiting arrivals, and
+    /// memory too tight for everyone.
+    fn contended_ctx(n_running: u64, n_waiting: u64) -> SchedContext {
+        let mut requests: Vec<ReqView> = (0..n_running)
+            .map(|i| with_context(running_with_buffer(i, 30.0), 600))
+            .collect();
+        requests.extend(
+            (n_running..n_running + n_waiting)
+                .map(|i| with_context(view(i, ReqPhase::WaitingNew), 600)),
+        );
+        ctx(requests, 0, 6_000)
+    }
+
+    #[test]
+    fn swap_bound_at_population_size_is_identical_to_unbounded() {
+        let c = contended_ctx(8, 8);
+        let mut unbounded = TokenFlowScheduler::new();
+        let mut bounded = TokenFlowScheduler::with_params(TokenFlowParams {
+            swap_candidates: 16, // ≥ the candidate population
+            ..TokenFlowParams::default()
+        });
+        assert_eq!(unbounded.plan(&c), bounded.plan(&c));
+    }
+
+    #[test]
+    fn tight_swap_bound_still_produces_a_working_plan() {
+        let c = contended_ctx(8, 8);
+        let mut tight = TokenFlowScheduler::with_params(TokenFlowParams {
+            swap_candidates: 1,
+            ..TokenFlowParams::default()
+        });
+        let plan = tight.plan(&c);
+        // The pass still functions under the cap: memory pressure forces
+        // preemptions and the freed space admits waiting arrivals.
+        assert!(
+            plan.actions
+                .iter()
+                .any(|a| matches!(a, Action::AdmitPrefill(_))),
+            "bounded search must still admit: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn default_swap_bound_is_unbounded() {
+        assert_eq!(TokenFlowParams::default().swap_candidates, 0);
     }
 
     #[test]

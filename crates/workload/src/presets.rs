@@ -180,6 +180,24 @@ impl ControlledSetup {
         }
     }
 
+    /// Looks a Table 1 setup up by its scenario-spec name (the
+    /// kebab-case form the `tokenflow` CLI and `scenarios/` files use):
+    /// `"rtx4090-a"` … `"rtx4090-d"`, `"h200-a"` … `"h200-d"`.
+    /// Case-insensitive, like the model/hardware profile lookups.
+    pub fn by_name(name: &str) -> Option<ControlledSetup> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "rtx4090-a" => Self::rtx4090_a(),
+            "rtx4090-b" => Self::rtx4090_b(),
+            "rtx4090-c" => Self::rtx4090_c(),
+            "rtx4090-d" => Self::rtx4090_d(),
+            "h200-a" => Self::h200_a(),
+            "h200-b" => Self::h200_b(),
+            "h200-c" => Self::h200_c(),
+            "h200-d" => Self::h200_d(),
+            _ => return None,
+        })
+    }
+
     /// All burst rows of Table 1 in figure order (Figure 16).
     pub fn burst_rows() -> Vec<ControlledSetup> {
         vec![
@@ -352,6 +370,27 @@ mod tests {
             ControlledSetup::h200_b().arrivals,
             ArrivalSpec::Burst { size: 200, .. }
         ));
+    }
+
+    #[test]
+    fn by_name_covers_every_table1_row_and_rejects_others() {
+        for name in [
+            "rtx4090-a",
+            "rtx4090-b",
+            "rtx4090-c",
+            "rtx4090-d",
+            "h200-a",
+            "h200-b",
+            "h200-c",
+            "h200-d",
+        ] {
+            assert!(ControlledSetup::by_name(name).is_some(), "{name}");
+        }
+        assert!(ControlledSetup::by_name("tpu-a").is_none());
+        assert_eq!(
+            ControlledSetup::by_name("h200-b").unwrap(),
+            ControlledSetup::h200_b()
+        );
     }
 
     #[test]

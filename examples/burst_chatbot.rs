@@ -1,66 +1,45 @@
 //! Flash-crowd scenario: a chatbot service takes a 60-request burst on one
 //! RTX 4090 and we compare all four schedulers on user-facing metrics —
-//! the paper's §4.1 motivation end to end.
+//! the paper's §4.1 motivation end to end, expressed as a four-cell
+//! scheduler sweep over one scenario spec.
 //!
 //! ```text
 //! cargo run --release --example burst_chatbot
 //! ```
 
-use tokenflow::prelude::*;
-use tokenflow::workload::{ControlledSetup, LengthDist};
+use tokenflow::scenario::{parse_sweep, run_sweep, sweep_table};
 
 fn main() {
     // The paper's 4090 (a) setting: 60 simultaneous chat requests with
     // ~512-token prompts and ~1024-token answers, readers at 2× average
-    // reading speed.
-    let setup = ControlledSetup::rtx4090_a();
-    let workload = setup.workload(42);
-    println!(
-        "burst of {} requests, mean prompt {:.0}, mean output {:.0}, {} tok/s readers\n",
-        workload.len(),
-        workload.stats().mean_prompt,
-        workload.stats().mean_output,
-        workload.stats().mean_rate,
-    );
-
-    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
-        ("SGLang", Box::new(FcfsScheduler::new())),
-        ("SGLang (chunked)", Box::new(ChunkedPrefillScheduler::new())),
-        ("Andes", Box::new(AndesScheduler::new())),
-        ("TokenFlow", Box::new(TokenFlowScheduler::new())),
-    ];
-
-    println!(
-        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "scheduler", "eff tok/s", "mean TTFT", "p99 TTFT", "stalls", "QoS"
-    );
-    let mut baseline_eff = None;
-    for (name, sched) in schedulers {
-        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-        let outcome = run_simulation_boxed(config, sched, &workload);
-        let r = &outcome.report;
-        println!(
-            "{name:<18} {:>10.1} {:>9.2}s {:>9.2}s {:>10} {:>10.1}",
-            r.effective_throughput, r.ttft.mean, r.ttft.p99, r.stall_events, r.qos
-        );
-        match baseline_eff {
-            None => baseline_eff = Some(r.effective_throughput),
-            Some(base) if name == "TokenFlow" => {
-                let gain = (r.effective_throughput / base - 1.0) * 100.0;
-                println!("\nTokenFlow effective-throughput gain over SGLang: {gain:+.1}%");
+    // reading speed. The whole comparison is one sweep document — the
+    // same grammar `tokenflow sweep` runs from a file.
+    let sweep = parse_sweep(
+        r#"{
+            "name": "burst-chatbot",
+            "base": {
+                "model": "Llama3-8B",
+                "hardware": "RTX4090",
+                "workload": {"type": "preset", "name": "rtx4090-a", "seed": 42},
+                "topology": "single"
+            },
+            "axes": {
+                "scheduler": ["fcfs", "chunked", "andes", "tokenflow"]
             }
-            Some(_) => {}
-        }
-    }
+        }"#,
+    )
+    .expect("valid sweep");
 
-    // Show what a custom length mix looks like: longer documents shift the
-    // bottleneck from prefill to memory rotation.
-    let long_docs = setup.generator(RateDist::Fixed(12.0)).generate(7);
-    let _ = LengthDist::sharegpt_prompt(); // see the workload crate for more
-    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
-    let outcome = run_simulation(config, TokenFlowScheduler::new(), &long_docs);
-    println!(
-        "\nsame burst with uniform 12 tok/s readers: eff {:.1} tok/s, p99 TTFT {:.2}s",
-        outcome.report.effective_throughput, outcome.report.ttft.p99
-    );
+    let cells = run_sweep(&sweep).expect("all cells build");
+    println!("{}\n", sweep_table(&cells));
+
+    let eff = |label: &str| {
+        cells
+            .iter()
+            .find(|c| c.label.starts_with(label))
+            .map(|c| c.outcome.report.effective_throughput)
+            .expect("cell present")
+    };
+    let gain = (eff("tokenflow") / eff("fcfs") - 1.0) * 100.0;
+    println!("TokenFlow effective-throughput gain over SGLang: {gain:+.1}%");
 }

@@ -1,78 +1,64 @@
-//! Quickstart: serve a handful of streaming requests and watch tokens
-//! arrive through the step API.
+//! Quickstart: the front door is a declarative scenario — one JSON spec
+//! describing the whole serving stack, built and run in two calls.
+//!
+//! The same spec works from the command line:
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! tokenflow run scenarios/quickstart_single.json
 //! ```
 
-use tokenflow::prelude::*;
+use tokenflow::scenario::parse_scenario;
 
 fn main() {
-    // An H200 serving Llama3-8B with the TokenFlow scheduler.
-    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
-    let mut engine = Engine::new(config, TokenFlowScheduler::new());
+    // An H200 serving Llama3-8B with the TokenFlow scheduler; three
+    // clients with different reading speeds submit prompts at t = 0.
+    let spec = parse_scenario(
+        r#"{
+            "name": "quickstart",
+            "model": "Llama3-8B",
+            "hardware": "H200",
+            "scheduler": "tokenflow",
+            "workload": {
+                "type": "inline",
+                "requests": [
+                    {"arrival_secs": 0, "prompt_tokens": 512, "output_tokens": 200, "rate": 20},
+                    {"arrival_secs": 0, "prompt_tokens": 256, "output_tokens": 150, "rate": 12},
+                    {"arrival_secs": 0, "prompt_tokens": 128, "output_tokens": 100, "rate": 6}
+                ]
+            },
+            "topology": "single"
+        }"#,
+    )
+    .expect("valid scenario");
 
-    // Three clients with different reading speeds submit prompts.
-    let clients = [
-        ("alice (fast reader)", 512, 200, 20.0),
-        ("bob (average reader)", 256, 150, 12.0),
-        ("carol (listening)", 128, 100, 6.0),
-    ];
-    let mut names = std::collections::HashMap::new();
-    for (name, prompt, output, rate) in clients {
-        let id = engine.submit(RequestSpec {
-            id: RequestId(0), // assigned by the engine
-            arrival: SimTime::ZERO,
-            prompt_tokens: prompt,
-            output_tokens: output,
-            rate,
-        });
-        names.insert(id, name);
-        println!("submitted {name}: {prompt}-token prompt, {output} output tokens @ {rate} tok/s");
-    }
-
-    // Drive the engine step by step, reporting milestones.
-    let mut first_seen = std::collections::HashSet::new();
-    loop {
-        let step = engine.step();
-        for &(id, count) in &step.delivered {
-            if first_seen.insert(id) {
-                println!(
-                    "[{:>8.3}s] {} received its FIRST token",
-                    step.now.as_secs_f64(),
-                    names[&id]
-                );
-            } else if count % 50 == 0 {
-                println!(
-                    "[{:>8.3}s] {} has {count} tokens",
-                    step.now.as_secs_f64(),
-                    names[&id]
-                );
-            }
-        }
-        for id in &step.finished {
-            println!("[{:>8.3}s] {} COMPLETE", step.now.as_secs_f64(), names[id]);
-        }
-        if step.done {
-            break;
-        }
-    }
-
-    let outcome = engine.into_outcome();
-    println!("\n--- run report ---");
-    println!("requests completed : {}", outcome.report.completed);
-    println!("mean TTFT          : {:.3} s", outcome.report.ttft.mean);
+    // `build()` assembles the exact stack a hand-written main would
+    // (engine config, scheduler, workload); `run()` drives it to a report.
+    let harness = spec.build().expect("buildable scenario");
     println!(
-        "throughput         : {:.1} tok/s",
-        outcome.report.throughput
+        "serving {} requests on {} ({} topology)\n",
+        harness.workload.len(),
+        harness.config.hardware.name,
+        harness.topology.type_name(),
     );
+    let outcome = harness.run();
+
+    let report = &outcome.report;
+    println!("--- run report ---");
+    println!("requests completed : {}", report.completed);
+    println!("mean TTFT          : {:.3} s", report.ttft.mean);
+    println!("throughput         : {:.1} tok/s", report.throughput);
     println!(
         "effective thpt     : {:.1} tok/s",
-        outcome.report.effective_throughput
+        report.effective_throughput
     );
-    println!("QoS (Eq. 2)        : {:.1}", outcome.report.qos);
+    println!("QoS (Eq. 2)        : {:.1}", report.qos);
     println!(
         "rebuffering        : {:.2} s across {} stalls",
-        outcome.report.total_rebuffer_secs, outcome.report.stall_events
+        report.total_rebuffer_secs, report.stall_events
     );
+    println!("report digest      : {:016x}", outcome.digest());
+
+    // The full machine-readable report (what `tokenflow run` prints):
+    println!("\n{}", outcome.to_json().emit_pretty());
 }

@@ -1,14 +1,18 @@
 //! Trace replay: generate a BurstGPT-style production trace, save it as
-//! CSV, reload it, and replay it through two schedulers — the workflow for
-//! evaluating real operational traces.
+//! CSV, then replay it through two schedulers **from a scenario spec**
+//! that names the trace file — the workflow for evaluating real
+//! operational traces without writing a new `main` per run.
 //!
 //! ```text
 //! cargo run --release --example trace_replay
 //! ```
 
-use tokenflow::prelude::*;
-use tokenflow::workload::trace;
-use tokenflow::workload::{presets, RateDist};
+use tokenflow::scenario::{
+    run_sweep, sweep_table, Axis, ScenarioSpec, SchedulerSpec, SweepSpec, TokenFlowSpec,
+    WorkloadSpec,
+};
+use tokenflow::sim::SimDuration;
+use tokenflow::workload::{presets, trace, RateDist};
 
 fn main() {
     // 1. Generate a three-minute bursty trace with ShareGPT-like lengths.
@@ -28,36 +32,31 @@ fn main() {
         stats.p99_prompt
     );
 
-    // 2. Round-trip through the CSV trace format.
+    // 2. Save it as CSV — the format `workload.type = "trace-csv"` replays.
     let csv = trace::to_csv(&workload);
     let path = std::env::temp_dir().join("tokenflow_trace.csv");
     std::fs::write(&path, &csv).expect("write trace");
-    let reloaded =
-        trace::from_csv(&std::fs::read_to_string(&path).expect("read trace")).expect("parse trace");
-    assert_eq!(reloaded, workload);
-    println!(
-        "trace saved to {} and reloaded identically\n",
-        path.display()
-    );
+    println!("trace saved to {}\n", path.display());
 
-    // 3. Replay under SGLang and TokenFlow on an H200 under memory pressure.
-    for (name, sched) in [
-        (
-            "SGLang",
-            Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>,
-        ),
-        ("TokenFlow", Box::new(TokenFlowScheduler::new())),
-    ] {
-        let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
-            .with_mem_frac(0.3);
-        let outcome = run_simulation_boxed(config, sched, &reloaded);
-        println!(
-            "{name:<10} eff {:>7.1} tok/s | thpt {:>7.1} | mean TTFT {:>6.2}s | p99 {:>6.2}s | QoS {:>7.1}",
-            outcome.report.effective_throughput,
-            outcome.report.throughput,
-            outcome.report.ttft.mean,
-            outcome.report.ttft.p99,
-            outcome.report.qos,
-        );
-    }
+    // 3. Replay under SGLang and TokenFlow on an H200 under memory
+    //    pressure: a two-cell scheduler sweep over one trace-backed spec.
+    let mut base = ScenarioSpec {
+        name: "trace-replay".to_string(),
+        hardware: "H200".to_string(),
+        workload: WorkloadSpec::TraceCsv {
+            path: path.to_string_lossy().into_owned(),
+        },
+        ..ScenarioSpec::default()
+    };
+    base.engine.mem_frac = 0.3;
+    let sweep = SweepSpec {
+        name: "trace-replay".to_string(),
+        base,
+        axes: vec![Axis::Scheduler(vec![
+            SchedulerSpec::Fcfs { headroom: None },
+            SchedulerSpec::TokenFlow(TokenFlowSpec::default()),
+        ])],
+    };
+    let cells = run_sweep(&sweep).expect("trace replays");
+    println!("{}", sweep_table(&cells));
 }

@@ -29,11 +29,40 @@
 //!   (reactive / EWMA-predictive / scripted) driving a deterministic
 //!   `Provisioning → Active → Draining → Retired` replica lifecycle at
 //!   arrival barriers, with replica-seconds cost accounting.
+//! * [`scenario`] — the declarative layer and **canonical construction
+//!   path**: every axis above as a serde-style spec type, composed into
+//!   one `ScenarioSpec` that builds a single engine, a fixed cluster, or
+//!   an autoscaled fleet from a JSON file, plus cartesian sweeps over
+//!   spec fields. The `tokenflow` CLI (`tokenflow run`, `tokenflow
+//!   sweep`, `tokenflow list-policies`) drives it without writing Rust.
 //!
 //! [`Scheduler`]: sched::Scheduler
 //! [`run_simulation`]: core::run_simulation
 //!
 //! ## Quickstart
+//!
+//! One JSON spec describes the whole stack; `build()` assembles exactly
+//! what a hand-written `main` would (the equivalence suite pins the two
+//! byte-identical), and `run()` drives it to a report:
+//!
+//! ```
+//! use tokenflow::scenario::parse_scenario;
+//!
+//! let spec = parse_scenario(r#"{
+//!     "model": "Llama3-8B",
+//!     "hardware": "H200",
+//!     "scheduler": "tokenflow",
+//!     "workload": {"type": "inline", "requests": [
+//!         {"arrival_secs": 0, "prompt_tokens": 256, "output_tokens": 128, "rate": 15}
+//!     ]},
+//!     "topology": "single"
+//! }"#).unwrap();
+//! let outcome = spec.build().unwrap().run();
+//! assert_eq!(outcome.report.completed, 1);
+//! println!("TTFT: {:.3}s", outcome.report.ttft.mean);
+//! ```
+//!
+//! The imperative APIs remain for step-level control:
 //!
 //! ```
 //! use tokenflow::core::{run_simulation, EngineConfig};
@@ -52,7 +81,6 @@
 //! let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
 //! let outcome = run_simulation(config, TokenFlowScheduler::new(), &workload);
 //! assert_eq!(outcome.report.completed, 1);
-//! println!("TTFT: {:.3}s", outcome.report.ttft.mean);
 //! ```
 //!
 //! ## Scaling out
@@ -95,6 +123,7 @@ pub use tokenflow_core as core;
 pub use tokenflow_kv as kv;
 pub use tokenflow_metrics as metrics;
 pub use tokenflow_model as model;
+pub use tokenflow_scenario as scenario;
 pub use tokenflow_sched as sched;
 pub use tokenflow_sim as sim;
 pub use tokenflow_workload as workload;
@@ -114,6 +143,9 @@ pub mod prelude {
     };
     pub use tokenflow_metrics::{QosParams, RunReport};
     pub use tokenflow_model::{CostModel, HardwareProfile, ModelProfile};
+    pub use tokenflow_scenario::{
+        parse_scenario, parse_sweep, run_sweep, Harness, RunOutcome, ScenarioSpec, SweepSpec,
+    };
     pub use tokenflow_sched::{
         AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowParams,
         TokenFlowScheduler,

@@ -1,0 +1,216 @@
+//! The `tokenflow` CLI: drive the whole serving surface from JSON specs.
+//!
+//! ```text
+//! tokenflow run <scenario.json> [--out report.json]   run one scenario
+//! tokenflow sweep <sweep.json> [--out grid.json]      run a cartesian grid
+//! tokenflow validate <spec.json> ...                  parse/typo-check only
+//! tokenflow list-policies                             show every valid name
+//! ```
+//!
+//! `run` prints the scenario's JSON report (merged `RunReport`, digest,
+//! topology metadata) to stdout; `sweep` prints an aligned results table
+//! and, with `--out`, writes the full JSON grid. Relative `trace-csv`
+//! paths resolve against the spec file's own directory, so committed
+//! scenarios can name traces next to themselves.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tokenflow_scenario::{
+    is_sweep, json, run_sweep, scenario_from_json, sweep_from_json, sweep_table, sweep_to_json,
+    SpecError, ARRIVAL_NAMES, HARDWARE_NAMES, LENGTH_DIST_NAMES, MODEL_NAMES, PRESET_NAMES,
+    RATE_DIST_NAMES, ROUTER_NAMES, SCALE_POLICY_NAMES, SCHEDULER_NAMES, TOPOLOGY_NAMES,
+    WORKLOAD_TYPE_NAMES,
+};
+
+const USAGE: &str = "\
+tokenflow — declarative scenario runner for the TokenFlow serving stack
+
+USAGE:
+    tokenflow run <scenario.json> [--out <report.json>]
+    tokenflow sweep <sweep.json> [--out <grid.json>]
+    tokenflow validate <spec.json> [<spec.json> ...]
+    tokenflow list-policies
+
+Scenario files describe one serving stack (model, hardware, engine knobs,
+scheduler, workload, topology); sweep files add an `axes` object listing
+alternatives per field and run the cartesian grid. See `scenarios/` for
+committed examples and DESIGN.md (\"scenario layer\") for the grammar.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "run" => cmd_run(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
+        "list-policies" => {
+            cmd_list_policies();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `[file, --out, path]`-style argument lists.
+fn file_and_out(args: &[String], command: &str) -> Result<(String, Option<String>), String> {
+    let mut file = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out needs a path".to_string())?
+                        .clone(),
+                );
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok((
+        file.ok_or_else(|| format!("usage: tokenflow {command} <file.json> [--out <path>]"))?,
+        out,
+    ))
+}
+
+fn load_json(path: &str) -> Result<json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn spec_err(path: &str, e: SpecError) -> String {
+    format!("{path}: {e}")
+}
+
+fn base_dir(path: &str) -> std::path::PathBuf {
+    Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (path, out) = file_and_out(args, "run")?;
+    let doc = load_json(&path)?;
+    if is_sweep(&doc) {
+        return Err(format!(
+            "{path} is a sweep spec (has `axes`); use `tokenflow sweep {path}`"
+        ));
+    }
+    let mut spec = scenario_from_json(&doc, "scenario").map_err(|e| spec_err(&path, e))?;
+    spec.rebase_paths(&base_dir(&path));
+    let harness = spec.build().map_err(|e| spec_err(&path, e))?;
+    eprintln!(
+        "running scenario `{}`: {} requests, topology {}",
+        harness.name,
+        harness.workload.len(),
+        harness.topology.type_name()
+    );
+    let outcome = harness.run();
+    let report = outcome.to_json().emit_pretty();
+    println!("{report}");
+    if let Some(out_path) = out {
+        std::fs::write(&out_path, &report).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("report written to {out_path}");
+    }
+    if !outcome.complete {
+        return Err(format!(
+            "scenario `{}` did not complete within the engine deadline",
+            outcome.scenario
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (path, out) = file_and_out(args, "sweep")?;
+    let doc = load_json(&path)?;
+    if !is_sweep(&doc) {
+        return Err(format!(
+            "{path} has no `axes`; use `tokenflow run {path}` for a single scenario"
+        ));
+    }
+    let mut sweep = sweep_from_json(&doc).map_err(|e| spec_err(&path, e))?;
+    sweep.rebase_paths(&base_dir(&path));
+    eprintln!(
+        "sweep `{}`: {} axes, {} cells",
+        sweep.name,
+        sweep.axes.len(),
+        sweep.cells()
+    );
+    let cells = run_sweep(&sweep).map_err(|e| spec_err(&path, e))?;
+    println!("{}", sweep_table(&cells));
+    if let Some(out_path) = out {
+        let grid = sweep_to_json(&sweep, &cells).emit_pretty();
+        std::fs::write(&out_path, &grid).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("grid written to {out_path}");
+    }
+    if let Some(incomplete) = cells.iter().find(|c| !c.outcome.complete) {
+        return Err(format!("cell `{}` did not complete", incomplete.label));
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("usage: tokenflow validate <spec.json> [...]".to_string());
+    }
+    for path in args {
+        let doc = load_json(path)?;
+        if is_sweep(&doc) {
+            let sweep = sweep_from_json(&doc).map_err(|e| spec_err(path, e))?;
+            // Expansion catches axis/topology mismatches too.
+            let cells = sweep.expand().map_err(|e| spec_err(path, e))?;
+            println!("{path}: sweep `{}`, {} cells — OK", sweep.name, cells.len());
+        } else {
+            let spec = scenario_from_json(&doc, "scenario").map_err(|e| spec_err(path, e))?;
+            println!(
+                "{path}: scenario `{}` ({} / {} / {}) — OK",
+                spec.name,
+                spec.scheduler.type_name(),
+                spec.workload.type_name(),
+                spec.topology.type_name()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list_policies() {
+    let section = |title: &str, names: &[&str]| {
+        println!("{title}:");
+        for n in names {
+            println!("  {n}");
+        }
+        println!();
+    };
+    section("schedulers (scheduler.type)", SCHEDULER_NAMES);
+    section("routers (topology.router)", ROUTER_NAMES);
+    section("scale policies (topology.policy.type)", SCALE_POLICY_NAMES);
+    section("topologies (topology.type)", TOPOLOGY_NAMES);
+    section("workload types (workload.type)", WORKLOAD_TYPE_NAMES);
+    section("workload presets (workload.name)", PRESET_NAMES);
+    section("arrival processes (arrivals.type)", ARRIVAL_NAMES);
+    section("length distributions", LENGTH_DIST_NAMES);
+    section("rate distributions", RATE_DIST_NAMES);
+    section("models", MODEL_NAMES);
+    section("hardware", HARDWARE_NAMES);
+}

@@ -9,52 +9,66 @@
 //! a digest move means the "optimisation" changed behavior, not just
 //! speed.
 //!
+//! Since the scenario-layer redesign, every stack here is **constructed
+//! through the spec layer** (`SchedulerSpec`, `RouterSpec`,
+//! `ScalePolicySpec`, `ControlSpec`, `WorkloadSpec`, `EngineSpec`) — the
+//! canonical construction path — while the digests still cover the full
+//! outcome (records, telemetry series, assignments, scale logs) that
+//! `RunOutcome` deliberately summarises away. The pinned values are
+//! unchanged from the pre-spec hand-built suite: the redesign moved
+//! construction, not behavior.
+//!
 //! When an *intentional* behavior change moves a digest, re-pin it: run
 //! `cargo test --test golden -- --nocapture` and copy the table each
 //! failing test prints.
 
-use tokenflow_cluster::{
-    run_autoscaled, run_cluster_with, BacklogAwareRouter, ClusterOutcome, Execution,
-    LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
-};
-use tokenflow_control::{
-    ControlConfig, PredictivePolicy, ReactivePolicy, ScalePolicy, ScriptedPolicy,
-};
+use tokenflow_cluster::{run_autoscaled, run_cluster_with, ClusterOutcome, Execution, Router};
+use tokenflow_control::{ControlConfig, ScalePolicy};
 use tokenflow_core::{run_simulation_boxed, EngineConfig, SimOutcome};
 use tokenflow_metrics::fnv1a64;
 use tokenflow_model::{HardwareProfile, ModelProfile};
-use tokenflow_sched::{
-    AndesScheduler, ChunkedPrefillScheduler, FcfsScheduler, Scheduler, TokenFlowScheduler,
+use tokenflow_scenario::{
+    json::Json, policy_from_json, router_from_json, scheduler_from_json, ControlSpec, EngineSpec,
+    RateDistSpec, SchedulerSpec, WorkloadSpec,
 };
-use tokenflow_sim::{SimDuration, SimTime};
-use tokenflow_workload::{diurnal_flash_crowd, RateDist, Workload};
+use tokenflow_sched::Scheduler;
+use tokenflow_sim::SimDuration;
+use tokenflow_workload::Workload;
 
 fn config() -> EngineConfig {
-    EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090()).with_max_batch(16)
+    EngineSpec {
+        max_batch: 16,
+        ..EngineSpec::default()
+    }
+    .build_config(ModelProfile::llama3_8b(), HardwareProfile::rtx4090())
 }
 
 /// The seeded trace every golden run shares: a diurnal base with a flash
 /// crowd landing mid-run — bursty enough to exercise preemption, KV
 /// offload, recompute, and (for clusters) routing and scaling.
 fn trace() -> Workload {
-    diurnal_flash_crowd(
-        1.5,
-        SimDuration::from_secs(120),
-        30,
-        SimTime::from_secs(30),
-        RateDist::Uniform { lo: 8.0, hi: 24.0 },
-        42,
-    )
+    WorkloadSpec::DiurnalFlashCrowd {
+        peak_rate: 1.5,
+        duration_secs: 120.0,
+        crowd_size: 30,
+        crowd_at_secs: 30.0,
+        rate: RateDistSpec::Uniform { lo: 8.0, hi: 24.0 },
+        seed: 42,
+    }
+    .build_workload()
+    .expect("synthetic workloads always build")
 }
 
+/// Spec-built scheduler by its spec name (the CLI's shorthand form).
 fn scheduler(which: &str) -> Box<dyn Scheduler> {
-    match which {
-        "fcfs" => Box::new(FcfsScheduler::new()),
-        "chunked" => Box::new(ChunkedPrefillScheduler::new()),
-        "andes" => Box::new(AndesScheduler::new()),
-        "tokenflow" => Box::new(TokenFlowScheduler::new()),
-        other => panic!("unknown scheduler {other}"),
-    }
+    scheduler_from_json(&Json::Str(which.to_string()), "scheduler")
+        .unwrap_or_else(|e| panic!("unknown scheduler {which}: {e}"))
+        .build_scheduler()
+}
+
+fn scheduler_spec(which: &str) -> SchedulerSpec {
+    scheduler_from_json(&Json::Str(which.to_string()), "scheduler")
+        .unwrap_or_else(|e| panic!("unknown scheduler {which}: {e}"))
 }
 
 /// Digest of a single-engine outcome: the canonical report, every
@@ -125,8 +139,9 @@ fn assert_digests(label: &str, measured: &[(String, u64)], pinned: &[(&str, u64)
 }
 
 // These exact digests were also measured against the pre-refactor
-// (O(lifetime) hot path) engine with the same digest definition: the
-// refactor is behavior-identical down to every telemetry sample.
+// (O(lifetime) hot path) engine with the same digest definition — and,
+// since the scenario-layer redesign, against spec-built construction:
+// both refactors are behavior-identical down to every telemetry sample.
 const ENGINE_GOLDEN: [(&str, u64); 4] = [
     ("fcfs", 0x672eeefcdc82094c),
     ("chunked", 0x05c437d5c791fd4a),
@@ -150,14 +165,11 @@ fn golden_single_engine_per_scheduler() {
 
 const ROUTERS: [&str; 4] = ["round-robin", "least-loaded", "backlog-aware", "rate-aware"];
 
+/// Spec-built router by its spec name.
 fn router(which: &str) -> Box<dyn Router> {
-    match which {
-        "round-robin" => Box::new(RoundRobinRouter::new()),
-        "least-loaded" => Box::new(LeastLoadedRouter::new()),
-        "backlog-aware" => Box::new(BacklogAwareRouter::new()),
-        "rate-aware" => Box::new(RateAwareRouter::new()),
-        other => panic!("unknown router {other}"),
-    }
+    router_from_json(&Json::Str(which.to_string()), "router")
+        .unwrap_or_else(|e| panic!("unknown router {which}: {e}"))
+        .build_router()
 }
 
 // Least-loaded and backlog-aware happen to route this trace
@@ -177,11 +189,12 @@ fn golden_cluster_per_router_and_executor() {
         .iter()
         .map(|which| {
             let run = |execution| {
+                let sched = scheduler_spec("tokenflow");
                 run_cluster_with(
                     config(),
                     3,
                     router(which),
-                    || Box::new(TokenFlowScheduler::new()),
+                    move || sched.build_scheduler(),
                     &w,
                     execution,
                 )
@@ -202,26 +215,32 @@ fn golden_cluster_per_router_and_executor() {
 
 const POLICIES: [&str; 3] = ["reactive", "predictive-ewma", "scripted"];
 
+/// Spec-built scale policy, parsed from the spec grammar's JSON forms.
 fn policy(which: &str) -> Box<dyn ScalePolicy> {
-    match which {
-        "reactive" => Box::new(ReactivePolicy::new()),
-        "predictive-ewma" => Box::new(PredictivePolicy::with_tau(20.0)),
-        "scripted" => Box::new(ScriptedPolicy::new(vec![
-            (SimTime::ZERO, 2),
-            (SimTime::from_secs(30), 5),
-            (SimTime::from_secs(80), 1),
-        ])),
+    let doc = match which {
+        "reactive" => r#""reactive""#.to_string(),
+        "predictive-ewma" => r#"{"type": "predictive-ewma", "tau_secs": 20.0}"#.to_string(),
+        "scripted" => r#"{"type": "scripted", "steps": [[0, 2], [30, 5], [80, 1]]}"#.to_string(),
         other => panic!("unknown policy {other}"),
-    }
+    };
+    policy_from_json(
+        &tokenflow_scenario::json::parse(&doc).expect("valid JSON"),
+        "policy",
+    )
+    .unwrap_or_else(|e| panic!("unknown policy {which}: {e}"))
+    .build_policy()
 }
 
 fn control() -> ControlConfig {
-    ControlConfig::for_engine(&config())
-        .with_gamma(300.0)
-        .with_min_replicas(1)
-        .with_max_replicas(6)
-        .with_boot_delay(SimDuration::from_secs(2))
-        .with_cooldown(SimDuration::ZERO)
+    ControlSpec {
+        min_replicas: 1,
+        max_replicas: 6,
+        boot_delay_secs: 2.0,
+        cooldown_secs: 0.0,
+        gamma: Some(300.0),
+        control_tick_secs: None,
+    }
+    .build_control(&config())
 }
 
 const AUTOSCALE_GOLDEN: [(&str, u64); 4] = [
@@ -249,11 +268,12 @@ fn golden_autoscaled_per_policy_and_executor() {
         .into_iter()
         .map(|(name, control, which)| {
             let run = |execution| {
+                let sched = scheduler_spec("tokenflow");
                 run_autoscaled(
                     config(),
                     2,
-                    LeastLoadedRouter::new(),
-                    || Box::new(TokenFlowScheduler::new()),
+                    router("least-loaded"),
+                    move || sched.build_scheduler(),
                     policy(which),
                     control.clone(),
                     &w,
