@@ -1,34 +1,51 @@
-//! Fleet experiment: replica scaling to 32 replicas under the flash
-//! crowd, with wall-clock cost of the sequential vs parallel epoch
-//! executor.
+//! Fleet experiment: replica scaling to 32 replicas under a
+//! barrier-dense flash crowd, comparing all three epoch executors.
 //!
-//! Not a paper figure — this is the repo's fleet-scale extension: the
-//! arrival-barrier epoch refactor makes every replica independent between
-//! router dispatch points, so a 32-replica burst simulation costs one
-//! replica's wall-clock on enough cores instead of 32×. The sweep is
-//! *weak scaling* (a fixed per-replica share of the flash crowd, so the
-//! fleet serves a crowd that grows with it — TokenScale's tens-of-
-//! instances regime), and every parallel run is checked byte-identical to
-//! its sequential twin before any number is reported.
+//! Not a paper figure — this is the repo's fleet-scale extension. The
+//! arrival-barrier epoch design makes every replica independent between
+//! router dispatch points; *how* that independence is exploited is the
+//! executor's job, and this experiment measures the three strategies
+//! head to head on the regime the paper cares about (TokenFlow §6:
+//! flash crowds, where arrivals — and therefore barriers — are densest
+//! and per-epoch overhead hurts most):
+//!
+//! * `sequential` — the reference loop on the coordinator thread.
+//! * `scoped` — the legacy per-epoch `std::thread::scope` executor:
+//!   with thousands of barriers it pays thousands of spawn/join cycles,
+//!   which is exactly why it never beat sequential.
+//! * `pooled` — the persistent condvar-parked worker pool plus
+//!   quiescent-target barrier batching (round-robin routing is
+//!   load-oblivious, so sparse stretches coalesce).
+//!
+//! The sweep is *weak scaling* (a fixed per-replica share of the crowd,
+//! so the fleet serves a crowd that grows with it — the TokenScale
+//! tens-of-instances regime), and every parallel run is asserted
+//! byte-identical to its sequential twin before any number is reported.
 //!
 //! Results are also emitted as machine-readable JSON (`BENCH_fleet.json`
-//! in the working directory) so the perf trajectory can be tracked across
-//! commits without parsing tables.
+//! in the working directory) so CI can gate the speedup floor and the
+//! perf trajectory can be tracked across commits without parsing tables.
 
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
-use tokenflow_cluster::{run_cluster_with, Execution, LeastLoadedRouter};
+use tokenflow_cluster::{
+    ClusterEngine, ClusterOutcome, Execution, ExecutorStats, RoundRobinRouter,
+};
 use tokenflow_core::EngineConfig;
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sched::TokenFlowScheduler;
-use tokenflow_sim::SimTime;
+use tokenflow_sim::SimDuration;
 use tokenflow_workload::{ArrivalSpec, LengthDist, RateDist, Workload, WorkloadGen};
 
 use crate::table::{f, Table};
 
-/// Requests each replica is sized for — the Table 1 RTX 4090 (a) burst.
-const PER_REPLICA_REQUESTS: u32 = 60;
+/// Requests each replica is sized for.
+const PER_REPLICA_REQUESTS: u32 = 120;
+
+/// The crowd's arrival window: every arrival is its own barrier, so the
+/// run crosses thousands of epochs at fleet scale.
+const CROWD_WINDOW_SECS: u64 = 60;
 
 /// One row of the fleet sweep.
 #[derive(Debug, Clone)]
@@ -45,75 +62,124 @@ pub struct FleetRow {
     pub qos: f64,
     /// Whether every replica completed its share.
     pub complete: bool,
-    /// Wall-clock of the sequential executor, seconds.
+    /// Wall-clock of the sequential reference executor, seconds.
     pub sequential_secs: f64,
-    /// Wall-clock of the parallel executor, seconds.
-    pub parallel_secs: f64,
-    /// `sequential_secs / parallel_secs`.
-    pub speedup: f64,
+    /// Wall-clock of the legacy scoped-per-epoch executor, seconds.
+    pub scoped_secs: f64,
+    /// Wall-clock of the persistent-pool executor, seconds.
+    pub pooled_secs: f64,
+    /// `sequential_secs / pooled_secs`.
+    pub speedup_vs_sequential: f64,
+    /// `scoped_secs / pooled_secs` — what replacing per-epoch spawns
+    /// with a persistent pool is worth at the same lane count.
+    pub speedup_vs_scoped: f64,
+    /// Executor counters from the pooled run.
+    pub stats: ExecutorStats,
 }
 
-/// The flash crowd sized for `replicas` engines: `60 × replicas`
-/// simultaneous requests with the 4090 (a) length classes and
-/// heterogeneous streaming rates.
+/// The flash crowd sized for `replicas` engines: a Poisson storm of
+/// short interactive (chat-sized) requests over a fixed window, with
+/// heterogeneous streaming rates. Short outputs keep per-epoch
+/// simulation work small, which is the barrier-dense regime where
+/// executor overhead — not simulation work — dominates.
 fn crowd(replicas: usize) -> Workload {
     WorkloadGen {
-        arrivals: ArrivalSpec::Burst {
-            size: PER_REPLICA_REQUESTS * replicas as u32,
-            at: SimTime::ZERO,
+        arrivals: ArrivalSpec::Poisson {
+            rate: f64::from(PER_REPLICA_REQUESTS * replicas as u32) / CROWD_WINDOW_SECS as f64,
+            duration: SimDuration::from_secs(CROWD_WINDOW_SECS),
         },
         prompt: LengthDist::Normal {
-            mean: 512.0,
-            std: 128.0,
+            mean: 128.0,
+            std: 32.0,
             min: 16,
-            max: 2048,
+            max: 256,
         },
         output: LengthDist::Normal {
-            mean: 1024.0,
-            std: 256.0,
-            min: 16,
-            max: 4096,
+            mean: 32.0,
+            std: 8.0,
+            min: 8,
+            max: 64,
         },
         rate: RateDist::Uniform { lo: 6.0, hi: 30.0 },
     }
     .generate(42)
 }
 
-/// Runs the sweep over `fleet_sizes`, timing both executors per size and
-/// asserting their outcomes byte-identical before reporting.
+/// Lane count for both parallel executors: every available core, but at
+/// least 4 so single-core hosts still measure what a user asking for
+/// `parallel(4)` gets (the pool degrades to ~sequential there; the
+/// scoped executor pays 4 spawns per epoch regardless).
+fn lanes() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(4)
+}
+
+/// Timing repetitions per executor; the reported wall-clock is the
+/// median, because individual runs are sub-second and scheduler noise
+/// on a busy host would otherwise dominate the speedup ratios.
+const TIMING_REPS: usize = 3;
+
+fn run_fleet(
+    config: &EngineConfig,
+    replicas: usize,
+    workload: &Workload,
+    execution: Execution,
+) -> (ClusterOutcome, f64, ExecutorStats) {
+    let mut secs = Vec::with_capacity(TIMING_REPS);
+    let mut kept = None;
+    for _ in 0..TIMING_REPS {
+        let mut cluster =
+            ClusterEngine::new(config.clone(), replicas, RoundRobinRouter::new(), || {
+                Box::new(TokenFlowScheduler::new())
+            })
+            .with_execution(execution);
+        cluster.submit_workload(workload);
+        let start = Instant::now();
+        cluster.run_to_completion();
+        secs.push(start.elapsed().as_secs_f64());
+        let stats = cluster.executor_stats();
+        kept = Some((cluster.into_outcome(), stats));
+    }
+    secs.sort_by(f64::total_cmp);
+    let (outcome, stats) = kept.expect("TIMING_REPS > 0");
+    (outcome, secs[secs.len() / 2], stats)
+}
+
+/// Runs the sweep over `fleet_sizes`, timing all three executors per
+/// size and asserting their outcomes byte-identical before reporting.
 ///
 /// # Panics
 ///
 /// Panics if a parallel run diverges from its sequential twin — a fleet
 /// number from a broken determinism contract is worse than no number.
-pub fn fleet_sweep(fleet_sizes: &[usize], workers: NonZeroUsize) -> Vec<FleetRow> {
+pub fn fleet_sweep(fleet_sizes: &[usize], lanes: usize) -> Vec<FleetRow> {
     let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::rtx4090());
     fleet_sizes
         .iter()
         .map(|&replicas| {
             let workload = crowd(replicas);
-            let run = |execution: Execution| {
-                let start = Instant::now();
-                let out = run_cluster_with(
-                    config.clone(),
-                    replicas,
-                    LeastLoadedRouter::new(),
-                    || Box::new(TokenFlowScheduler::new()),
-                    &workload,
-                    execution,
+            let (seq, sequential_secs, _) =
+                run_fleet(&config, replicas, &workload, Execution::Sequential);
+            let (scoped, scoped_secs, _) = run_fleet(
+                &config,
+                replicas,
+                &workload,
+                Execution::scoped_per_epoch(lanes),
+            );
+            let (pooled, pooled_secs, stats) =
+                run_fleet(&config, replicas, &workload, Execution::parallel(lanes));
+            for (other, label) in [(&scoped, "scoped"), (&pooled, "pooled")] {
+                assert_eq!(
+                    seq.merged, other.merged,
+                    "{label} executor divergence at {replicas} replicas"
                 );
-                (out, start.elapsed().as_secs_f64())
-            };
-            let (seq, sequential_secs) = run(Execution::Sequential);
-            let (par, parallel_secs) = run(Execution::Parallel(workers));
-            assert_eq!(
-                seq.merged, par.merged,
-                "executor divergence at {replicas} replicas"
-            );
-            assert_eq!(
-                seq.assignments, par.assignments,
-                "assignment divergence at {replicas} replicas"
-            );
+                assert_eq!(
+                    seq.assignments, other.assignments,
+                    "{label} assignment divergence at {replicas} replicas"
+                );
+            }
             FleetRow {
                 replicas,
                 requests: workload.len(),
@@ -122,8 +188,11 @@ pub fn fleet_sweep(fleet_sizes: &[usize], workers: NonZeroUsize) -> Vec<FleetRow
                 qos: seq.merged.qos,
                 complete: seq.complete,
                 sequential_secs,
-                parallel_secs,
-                speedup: sequential_secs / parallel_secs.max(1e-9),
+                scoped_secs,
+                pooled_secs,
+                speedup_vs_sequential: sequential_secs / pooled_secs.max(1e-9),
+                speedup_vs_scoped: scoped_secs / pooled_secs.max(1e-9),
+                stats,
             }
         })
         .collect()
@@ -131,22 +200,28 @@ pub fn fleet_sweep(fleet_sizes: &[usize], workers: NonZeroUsize) -> Vec<FleetRow
 
 /// Renders the rows as machine-readable JSON (hand-rolled: the vendored
 /// serde stand-in has no serializer; the shape is one `rows` array of
-/// flat objects, stable across commits for trend tooling).
-pub fn fleet_json(rows: &[FleetRow], workers: usize) -> String {
+/// flat objects, stable across commits for trend tooling and the CI
+/// `fleet-speedup` gate).
+pub fn fleet_json(rows: &[FleetRow], lanes: usize, host_parallelism: usize) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"fleet\",\n");
-    s.push_str("  \"router\": \"least-loaded\",\n");
+    s.push_str("  \"router\": \"round-robin\",\n");
     s.push_str("  \"scheduler\": \"TokenFlow\",\n");
-    s.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    s.push_str(&format!("  \"lanes\": {lanes},\n"));
+    s.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
     s.push_str(&format!(
         "  \"per_replica_requests\": {PER_REPLICA_REQUESTS},\n"
     ));
+    s.push_str(&format!("  \"crowd_window_secs\": {CROWD_WINDOW_SECS},\n"));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"replicas\": {}, \"requests\": {}, \"effective_throughput\": {:.3}, \
              \"p99_ttft\": {:.4}, \"qos\": {:.3}, \"complete\": {}, \
-             \"sequential_secs\": {:.4}, \"parallel_secs\": {:.4}, \"speedup\": {:.3}}}{}\n",
+             \"sequential_secs\": {:.4}, \"scoped_secs\": {:.4}, \"pooled_secs\": {:.4}, \
+             \"speedup_vs_sequential\": {:.3}, \"speedup_vs_scoped\": {:.3}, \
+             \"pool_workers\": {}, \"pool_submissions\": {}, \"epochs\": {}, \
+             \"batched_barriers\": {}}}{}\n",
             r.replicas,
             r.requests,
             r.effective_throughput,
@@ -154,8 +229,14 @@ pub fn fleet_json(rows: &[FleetRow], workers: usize) -> String {
             r.qos,
             r.complete,
             r.sequential_secs,
-            r.parallel_secs,
-            r.speedup,
+            r.scoped_secs,
+            r.pooled_secs,
+            r.speedup_vs_sequential,
+            r.speedup_vs_scoped,
+            r.stats.pool_workers,
+            r.stats.pool_submissions,
+            r.stats.epochs,
+            r.stats.batched_barriers,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -163,49 +244,55 @@ pub fn fleet_json(rows: &[FleetRow], workers: usize) -> String {
     s
 }
 
-/// The fleet experiment: 1–32 replicas, weak-scaled flash crowd, both
-/// executors, JSON trajectory in `BENCH_fleet.json`.
+/// The fleet experiment: 1–32 replicas, weak-scaled barrier-dense flash
+/// crowd, all three executors, JSON trajectory in `BENCH_fleet.json`.
 pub fn fleet() -> String {
-    let workers = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
-    let rows = fleet_sweep(&[1, 2, 4, 8, 16, 32], workers);
+    let host = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let lanes = lanes();
+    let rows = fleet_sweep(&[1, 2, 4, 8, 16, 32], lanes);
 
-    let json = fleet_json(&rows, workers.get());
+    let json = fleet_json(&rows, lanes, host);
     let json_note = match std::fs::write("BENCH_fleet.json", &json) {
         Ok(()) => "JSON trajectory written to BENCH_fleet.json".to_string(),
         Err(e) => format!("(could not write BENCH_fleet.json: {e})"),
     };
 
     let mut s = format!(
-        "Weak-scaling flash crowd: {PER_REPLICA_REQUESTS} requests per replica arriving at\n\
-         once (rates uniform in [6, 30] tok/s), least-loaded routing, TokenFlow\n\
-         scheduling. Sequential and parallel executors are asserted\n\
-         byte-identical per size; speedup is their wall-clock ratio on this\n\
-         host ({} worker thread(s) — expect ≈1.0 on a single core and >1 at\n\
-         8+ replicas on multi-core hosts).\n\n",
-        workers.get()
+        "Weak-scaling flash crowd: {PER_REPLICA_REQUESTS} short requests per replica arriving\n\
+         as a Poisson storm over {CROWD_WINDOW_SECS}s (every arrival its own barrier),\n\
+         round-robin routing, TokenFlow scheduling. All three executors are\n\
+         asserted byte-identical per size. `×scoped` is the persistent pool\n\
+         against the legacy per-epoch scoped-thread executor at the same lane\n\
+         count ({lanes} lanes) — the cost of respawning workers every epoch;\n\
+         `×seq` is the pool against the sequential reference and tracks the\n\
+         host's real parallelism ({host} core(s) here).\n\n"
     );
     let mut table = Table::new(vec![
         "replicas",
         "requests",
         "eff thpt (tok/s)",
-        "p99 TTFT (s)",
-        "QoS",
         "complete",
-        "seq wall (s)",
-        "par wall (s)",
-        "speedup",
+        "seq (s)",
+        "scoped (s)",
+        "pooled (s)",
+        "×seq",
+        "×scoped",
+        "batched",
     ]);
     for r in &rows {
         table.row(vec![
             r.replicas.to_string(),
             r.requests.to_string(),
             f(r.effective_throughput, 1),
-            f(r.p99_ttft, 2),
-            f(r.qos, 1),
             r.complete.to_string(),
             f(r.sequential_secs, 3),
-            f(r.parallel_secs, 3),
-            f(r.speedup, 2),
+            f(r.scoped_secs, 3),
+            f(r.pooled_secs, 3),
+            f(r.speedup_vs_sequential, 2),
+            f(r.speedup_vs_scoped, 2),
+            r.stats.batched_barriers.to_string(),
         ]);
     }
     s.push_str(&table.render());
@@ -223,13 +310,14 @@ mod tests {
     fn fleet_sweep_small_sizes_complete_and_match() {
         // The full 1–32 sweep runs in the bench harness; tests pin the
         // contract on a small fleet to stay fast.
-        let rows = fleet_sweep(&[1, 2], NonZeroUsize::new(2).unwrap());
+        let rows = fleet_sweep(&[1, 2], 2);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.complete, "{} replicas incomplete", r.replicas);
-            assert_eq!(r.requests, PER_REPLICA_REQUESTS as usize * r.replicas);
             assert!(r.effective_throughput > 0.0);
-            assert!(r.sequential_secs > 0.0 && r.parallel_secs > 0.0);
+            assert!(r.sequential_secs > 0.0 && r.scoped_secs > 0.0 && r.pooled_secs > 0.0);
+            assert_eq!(r.stats.pool_workers, 1, "parallel(2) spawns one worker");
+            assert!(r.stats.pool_submissions > 0, "the pool must be exercised");
         }
         // Weak scaling: the doubled fleet serves the doubled crowd with
         // more aggregate throughput.
@@ -238,12 +326,14 @@ mod tests {
 
     #[test]
     fn fleet_json_is_wellformed_enough() {
-        let rows = fleet_sweep(&[1], NonZeroUsize::new(1).unwrap());
-        let json = fleet_json(&rows, 1);
+        let rows = fleet_sweep(&[1], 1);
+        let json = fleet_json(&rows, 1, 1);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"experiment\": \"fleet\""));
         assert!(json.contains("\"replicas\": 1"));
-        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"speedup_vs_sequential\""));
+        assert!(json.contains("\"speedup_vs_scoped\""));
+        assert!(json.contains("\"host_parallelism\""));
         // One row, no trailing comma.
         assert!(!json.contains("},\n  ]"));
     }

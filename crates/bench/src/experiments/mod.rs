@@ -127,7 +127,7 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment {
             id: "fleet",
-            title: "Fleet scaling: 1-32 replicas, sequential vs parallel epoch execution",
+            title: "Fleet scaling: 1-32 replicas, sequential vs scoped vs pooled executors",
             run: fleet::fleet,
         },
         Experiment {

@@ -5,11 +5,15 @@
 //! `cargo run -p tokenflow-bench --bin experiments -- sweep` executes
 //! the ≥6-cell scheduler × workload grid and renders the standard
 //! comparison table; `tokenflow sweep <file>` runs any other grid the
-//! same way.
+//! same way. Cells run on one job per available core (independent
+//! scenarios, deterministic spec-order output — see
+//! [`run_sweep_jobs`]), so the wall-clock cost of growing the grid is
+//! divided by the host's parallelism.
 
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 
-use tokenflow_scenario::{json, run_sweep, sweep_from_json, sweep_table};
+use tokenflow_scenario::{json, run_sweep_jobs, sweep_from_json, sweep_table};
 
 /// Locates the committed sweep file from either the workspace root (CI)
 /// or the crate directory (cargo test).
@@ -41,13 +45,15 @@ pub fn sweep() -> String {
         path.display(),
         spec.cells()
     );
+    let jobs = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
     let mut out = format!(
-        "sweep `{}` from {}: {} cells\n\n",
+        "sweep `{}` from {}: {} cells, {} job(s)\n\n",
         spec.name,
         path.display(),
-        spec.cells()
+        spec.cells(),
+        jobs
     );
-    let cells = run_sweep(&spec).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    let cells = run_sweep_jobs(&spec, jobs).unwrap_or_else(|e| panic!("sweep failed: {e}"));
     for cell in &cells {
         assert!(cell.outcome.complete, "cell `{}` incomplete", cell.label);
     }
@@ -66,7 +72,8 @@ mod tests {
         let text = std::fs::read_to_string(committed_sweep_path()).expect("sweep file");
         let spec = parse_sweep(&text).expect("valid sweep");
         assert!(spec.cells() >= 6, "grid shrank to {}", spec.cells());
-        let cells = run_sweep(&spec).expect("runs");
+        let jobs = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
+        let cells = run_sweep_jobs(&spec, jobs).expect("runs");
         assert_eq!(cells.len(), spec.cells());
         assert!(cells.iter().all(|c| c.outcome.complete));
     }

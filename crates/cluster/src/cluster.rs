@@ -10,7 +10,8 @@ use tokenflow_sched::Scheduler;
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 use tokenflow_workload::{RequestSpec, Workload};
 
-use crate::executor::{self, Execution};
+use crate::executor::{self, Execution, ExecutorStats};
+use crate::pool::WorkerPool;
 use crate::router::Router;
 
 /// Where one cluster request ended up. An [`Assignment`]'s position in
@@ -118,6 +119,19 @@ pub struct ClusterEngine {
     /// or synthetic), so the plane's reaction latency during arrival
     /// gaps is bounded by one tick.
     next_tick: Option<SimTime>,
+    /// The persistent worker pool behind [`Execution::Parallel`],
+    /// created on the first parallel epoch and reused for the rest of
+    /// the run.
+    pool: Option<WorkerPool>,
+    /// Routing decisions consumed ahead of their dispatch barrier by a
+    /// batching span that had to stop (see
+    /// [`extend_span`](ClusterEngine::extend_span)); `dispatch_due`
+    /// drains these before consulting the router again.
+    held_routes: VecDeque<usize>,
+    /// Arrival barriers coalesced into running epochs.
+    batched_barriers: u64,
+    /// Epochs run so far.
+    epochs: u64,
 }
 
 impl ClusterEngine {
@@ -150,6 +164,10 @@ impl ClusterEngine {
             pending: VecDeque::new(),
             assignments: Vec::new(),
             next_tick: None,
+            pool: None,
+            held_routes: VecDeque::new(),
+            batched_barriers: 0,
+            epochs: 0,
             config,
         }
     }
@@ -295,19 +313,37 @@ impl ClusterEngine {
     fn dispatch_due(&mut self, t: SimTime) {
         // The active set is pinned for the whole group: the plane only
         // mutates at control_barrier, never mid-dispatch. Load
-        // snapshots are re-read per request (submissions change them).
+        // snapshots are re-read per request (submissions change them) —
+        // except for load-oblivious routers, which never read snapshot
+        // contents, so one set per group is byte-identical and O(fleet)
+        // cheaper on wide clusters.
         let active = self.active_indices();
+        let oblivious = self.router.load_oblivious();
+        let mut cached: Option<Vec<EngineLoad>> = None;
         while self.pending.front().is_some_and(|s| s.arrival <= t) {
             let spec = self.pending.pop_front().expect("front checked");
             assert!(
                 !active.is_empty(),
                 "no active replica to dispatch to (fleet floor must be >= 1)"
             );
-            let loads: Vec<EngineLoad> = active
-                .iter()
-                .map(|&i| self.replicas[i].load_snapshot())
-                .collect();
-            let pick = self.router.route(&spec, &loads);
+            let pick = match self.held_routes.pop_front() {
+                // Routed ahead of its barrier by a batching span that
+                // had to stop before this group (see `extend_span`);
+                // the router's state already reflects the decision.
+                Some(pick) => pick,
+                None => {
+                    if cached.is_none() || !oblivious {
+                        cached = Some(
+                            active
+                                .iter()
+                                .map(|&i| self.replicas[i].load_snapshot())
+                                .collect(),
+                        );
+                    }
+                    let loads = cached.as_ref().expect("just filled");
+                    self.router.route(&spec, loads)
+                }
+            };
             assert!(pick < active.len(), "router index out of range");
             let replica = active[pick];
             debug_assert!(
@@ -319,6 +355,97 @@ impl ClusterEngine {
             let local_id = self.replicas[replica].submit(spec);
             self.assignments.push(Assignment { replica, local_id });
             self.done[replica] = false;
+        }
+    }
+
+    /// Whether the running epoch may coalesce upcoming arrival barriers.
+    ///
+    /// Spans require a static fleet (no control plane observing barrier
+    /// instants), a load-oblivious router (decisions provably unchanged
+    /// by early routing), and pooled parallel execution — `Sequential`
+    /// stays the untouched reference semantics the equivalence suites
+    /// differentially test batching against.
+    fn spans_barriers(&self) -> bool {
+        self.plane.is_none()
+            && matches!(self.execution, Execution::Parallel(_))
+            && self.router.load_oblivious()
+    }
+
+    /// Extends the running epoch across consecutive future arrival
+    /// barriers, submitting each barrier's whole group early, for as
+    /// long as every request in the group lands on a replica that is
+    /// **quiescent** (all submitted work finished, no queued KV
+    /// transfers) and stays untouched for the rest of the span. Each
+    /// coalesced barrier saves one full advance/wake cycle — the
+    /// dominant coordination cost on sparse traffic over wide fleets.
+    ///
+    /// # Why this exact rule is byte-invariant
+    ///
+    /// An engine's step trajectory is a pure function of its state and
+    /// its arrival queue; `step_until` deadlines only decide where the
+    /// coordinator pauses, never which steps run. Early submission is
+    /// therefore observable **only** through the arrival queue — and an
+    /// engine consults not-yet-due arrivals in exactly one place: the
+    /// idle fast-forward wake (`min` over next arrival, next transfer
+    /// completion, `now + idle_tick`). A *live* replica that goes idle
+    /// would wake earlier with an early-queued arrival than without, so
+    /// batching onto busy replicas is unsound. A quiescent replica takes
+    /// no steps at all until its early-submitted group exists in both
+    /// executions, its first wake is the group's own arrival instant
+    /// either way, and receiving at most one group per span means no
+    /// later early arrival can perturb its post-ingest idle wakes. The
+    /// equivalence and golden suites hold `Parallel` (spans on) to
+    /// byte-identity with `Sequential` (spans off) as a differential
+    /// check of this argument.
+    fn extend_span(&mut self, deadline: SimTime) {
+        debug_assert!(self.plane.is_none(), "spans never run on elastic fleets");
+        debug_assert!(self.held_routes.is_empty(), "held group not yet dispatched");
+        // One stale snapshot set for the whole span: the router never
+        // reads contents, and no replica steps while the coordinator is
+        // in this loop, so quiescence/transfer facts cannot go stale.
+        let loads: Vec<EngineLoad> = self.replicas.iter().map(|e| e.load_snapshot()).collect();
+        loop {
+            let Some(front) = self.pending.front() else {
+                return;
+            };
+            let t = front.arrival;
+            if t >= deadline {
+                // Post-deadline groups keep their own (unreachable)
+                // barriers so incomplete runs report identically.
+                return;
+            }
+            let group_len = self.pending.iter().take_while(|s| s.arrival == t).count();
+            let mut picks = Vec::with_capacity(group_len);
+            let mut eligible = true;
+            for i in 0..group_len {
+                let spec = self.pending[i];
+                let pick = self.router.route(&spec, &loads);
+                assert!(pick < loads.len(), "router index out of range");
+                // Same-instant requests may share a target (that is one
+                // barrier either way); a target busy from earlier work
+                // or an earlier span group ends the span.
+                eligible &= self.done[pick]
+                    && loads[pick].d2h_queue_len == 0
+                    && loads[pick].h2d_queue_len == 0;
+                picks.push(pick);
+            }
+            if !eligible {
+                // The router's state already advanced past this group;
+                // park the decisions for the dispatch that happens at
+                // the real barrier.
+                self.held_routes = picks.into();
+                return;
+            }
+            for pick in picks {
+                let spec = self.pending.pop_front().expect("group counted");
+                let local_id = self.replicas[pick].submit(spec);
+                self.assignments.push(Assignment {
+                    replica: pick,
+                    local_id,
+                });
+                self.done[pick] = false;
+            }
+            self.batched_barriers += 1;
         }
     }
 
@@ -360,6 +487,9 @@ impl ClusterEngine {
             // single engine reports for work the cut-off strands.
             self.control_barrier(arrival);
             self.dispatch_due(arrival);
+            if self.spans_barriers() {
+                self.extend_span(deadline);
+            }
         }
         let mut until = self
             .pending
@@ -373,7 +503,14 @@ impl ClusterEngine {
             // barriers have.
             until = until.min(tick);
         }
-        executor::advance_until(&mut self.replicas, &mut self.done, until, self.execution);
+        executor::advance_until(
+            &mut self.replicas,
+            &mut self.done,
+            until,
+            self.execution,
+            &mut self.pool,
+        );
+        self.epochs += 1;
         // Another epoch can make progress while arrivals remain or some
         // busy replica still sits short of the deadline.
         !self.pending.is_empty()
@@ -382,6 +519,20 @@ impl ClusterEngine {
                 .iter()
                 .zip(&self.done)
                 .any(|(e, &d)| !d && e.now() < deadline)
+    }
+
+    /// Exact executor counters for this run so far: epochs, coalesced
+    /// barriers, and — once a parallel epoch ran — the persistent pool's
+    /// spawn and submission counts. The constant `pool_workers` against
+    /// a growing `pool_submissions` is the observable proof that epochs
+    /// reuse one pool instead of respawning threads.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            epochs: self.epochs,
+            batched_barriers: self.batched_barriers,
+            pool_workers: self.pool.as_ref().map_or(0, WorkerPool::spawned_workers),
+            pool_submissions: self.pool.as_ref().map_or(0, WorkerPool::submissions),
+        }
     }
 
     /// Runs epochs until every submitted request completes on its replica

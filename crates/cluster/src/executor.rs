@@ -13,20 +13,34 @@
 //!
 //! * [`Execution::Sequential`] — one replica after another on the calling
 //!   thread. Zero threading overhead; wall-clock cost grows linearly with
-//!   replica count.
-//! * [`Execution::Parallel`] — replicas are sliced across
-//!   `std::thread::scope` workers. Because an epoch's per-replica work is
-//!   closed over the replica's own state (each [`Engine`] is a
-//!   self-contained deterministic simulator and the router only runs on
-//!   the coordinator between epochs), the executor choice cannot change a
-//!   single byte of any outcome — a property test holds every shipped
-//!   router to exactly that contract.
+//!   replica count. This is the reference implementation the other
+//!   strategies are differentially tested against.
+//! * [`Execution::Parallel`] — busy replicas are claimed one at a time
+//!   from a batch by a persistent, condvar-parked
+//!   [`WorkerPool`](crate::WorkerPool) that the cluster spawns once and
+//!   reuses for every epoch of the run.
+//! * [`Execution::ScopedPerEpoch`] — the legacy strategy `Parallel`
+//!   replaced: fresh `std::thread::scope` workers at every epoch, each
+//!   handed a pre-carved contiguous slice of the busy list. Kept as a
+//!   differential-testing and benchmarking baseline; it is strictly
+//!   slower than the pool on barrier-dense workloads.
+//!
+//! Because an epoch's per-replica work is closed over the replica's own
+//! state (each [`Engine`] is a self-contained deterministic simulator and
+//! the router only runs on the coordinator between epochs), the executor
+//! choice cannot change a single byte of any outcome — property tests
+//! hold every shipped router and all three strategies to exactly that
+//! contract.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic;
 use std::thread;
 
 use tokenflow_core::Engine;
 use tokenflow_sim::SimTime;
+
+use crate::pool::WorkerPool;
 
 /// How the cluster advances its replicas within one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,16 +48,23 @@ pub enum Execution {
     /// Advance replicas one at a time on the coordinator thread.
     #[default]
     Sequential,
-    /// Advance replicas on up to this many scoped worker threads.
-    /// `Parallel(1)` is semantically *and* observably identical to
-    /// [`Execution::Sequential`] (one worker walks the same replica list
-    /// in the same order); larger counts split the replica list into
-    /// contiguous slices, one worker per slice.
+    /// Advance busy replicas on a persistent worker pool with this many
+    /// lanes (the coordinator itself is one lane, so `Parallel(1)`
+    /// spawns no threads and is observably identical to
+    /// [`Execution::Sequential`]). Replicas are claimed item-by-item
+    /// from a shared cursor, so one slow replica cannot idle a whole
+    /// pre-carved slice.
     Parallel(NonZeroUsize),
+    /// Legacy per-epoch scoped threads: spawn up to this many workers at
+    /// every barrier and split the busy list into contiguous slices.
+    /// Superseded by [`Execution::Parallel`] (the spawn/join cost is
+    /// paid per epoch and epochs are far too short to amortize it); kept
+    /// as a measurable baseline.
+    ScopedPerEpoch(NonZeroUsize),
 }
 
 impl Execution {
-    /// Parallel execution sized to the host: one worker per available
+    /// Parallel execution sized to the host: one lane per available
     /// core (as reported by [`std::thread::available_parallelism`]),
     /// falling back to sequential execution when parallelism cannot be
     /// determined.
@@ -58,19 +79,49 @@ impl Execution {
         Execution::Parallel(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"))
     }
 
-    /// Short name for reports (`"sequential"` / `"parallel(n)"`).
+    /// Legacy scoped-thread constructor, clamping `threads` to at least
+    /// one. Exists for differential tests and the fleet benchmark.
+    pub fn scoped_per_epoch(threads: usize) -> Self {
+        Execution::ScopedPerEpoch(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// Short name for reports (`"sequential"` / `"parallel(n)"` /
+    /// `"scoped(n)"`).
     pub fn describe(&self) -> String {
         match self {
             Execution::Sequential => "sequential".to_string(),
             Execution::Parallel(n) => format!("parallel({n})"),
+            Execution::ScopedPerEpoch(n) => format!("scoped({n})"),
         }
     }
+}
+
+/// Observability counters for a cluster's epoch executor (see
+/// [`ClusterEngine::executor_stats`](crate::ClusterEngine::executor_stats)).
+/// All counters are exact and deterministic for a given run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Arrival-barrier epochs the coordinator ran.
+    pub epochs: u64,
+    /// Arrival barriers coalesced into a running epoch by the
+    /// quiescent-target batching rule — each one saved a full
+    /// advance/wake cycle (see `ClusterEngine::extend_span`).
+    pub batched_barriers: u64,
+    /// OS threads the persistent pool spawned; zero until the first
+    /// parallel epoch, then constant (the pool is reused, never
+    /// respawned).
+    pub pool_workers: usize,
+    /// Pool batches submitted (one per parallel epoch with busy
+    /// replicas).
+    pub pool_submissions: u64,
 }
 
 /// Advances every busy replica (`done[i] == false`) until its clock
 /// reaches `until`, it finishes all submitted work, or it goes quiescent;
 /// updates `done` in place from each replica's
-/// [`step_until`](Engine::step_until) verdict.
+/// [`step_until`](Engine::step_until) verdict. For
+/// [`Execution::Parallel`] the pool is created on first use and reused
+/// afterwards.
 ///
 /// The executor only chooses *where* each replica's loop runs — never
 /// *what* it does — so all strategies produce identical replica states.
@@ -79,6 +130,7 @@ pub(crate) fn advance_until(
     done: &mut [bool],
     until: SimTime,
     execution: Execution,
+    pool: &mut Option<WorkerPool>,
 ) {
     debug_assert_eq!(replicas.len(), done.len());
     match execution {
@@ -90,40 +142,68 @@ pub(crate) fn advance_until(
             }
         }
         Execution::Parallel(threads) => {
-            // Collect the busy replicas (with their indices) and slice the
-            // list across workers. Slices are disjoint `&mut` borrows, so
-            // no synchronization is needed beyond scope join; results come
-            // back keyed by replica index, making the merge order-blind.
-            let mut busy: Vec<(usize, &mut Engine)> = replicas
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| !done[*i])
-                .collect();
-            if busy.is_empty() {
-                return;
-            }
-            let per_worker = busy.len().div_ceil(threads.get());
-            let verdicts: Vec<(usize, bool)> = thread::scope(|scope| {
-                let handles: Vec<_> = busy
-                    .chunks_mut(per_worker)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            slice
-                                .iter_mut()
-                                .map(|(i, engine)| (*i, engine.step_until(until)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("replica worker panicked"))
-                    .collect()
-            });
-            for (i, finished) in verdicts {
-                done[i] = finished;
+            pool.get_or_insert_with(|| WorkerPool::new(threads))
+                .advance(replicas, done, until);
+        }
+        Execution::ScopedPerEpoch(threads) => advance_scoped(replicas, done, until, threads),
+    }
+}
+
+/// The legacy strategy: per-epoch scoped threads over contiguous slices.
+fn advance_scoped(
+    replicas: &mut [Engine],
+    done: &mut [bool],
+    until: SimTime,
+    threads: NonZeroUsize,
+) {
+    // Collect the busy replicas (with their indices) and slice the
+    // list across workers. Slices are disjoint `&mut` borrows, so
+    // no synchronization is needed beyond scope join; results come
+    // back keyed by replica index, making the merge order-blind.
+    let mut busy: Vec<(usize, &mut Engine)> = replicas
+        .iter_mut()
+        .enumerate()
+        .filter(|(i, _)| !done[*i])
+        .collect();
+    if busy.is_empty() {
+        return;
+    }
+    let per_worker = busy.len().div_ceil(threads.get());
+    let mut payload: Option<Box<dyn Any + Send>> = None;
+    let verdicts: Vec<(usize, bool)> = thread::scope(|scope| {
+        let handles: Vec<_> = busy
+            .chunks_mut(per_worker)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter_mut()
+                        .map(|(i, engine)| (*i, engine.step_until(until)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut verdicts = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(slice_verdicts) => verdicts.extend(slice_verdicts),
+                // Keep the first payload but keep joining: every worker
+                // must be reaped before the scope ends, and the original
+                // panic message (a scheduler assertion, say) must
+                // survive instead of a generic join error.
+                Err(p) => {
+                    if payload.is_none() {
+                        payload = Some(p);
+                    }
+                }
             }
         }
+        verdicts
+    });
+    if let Some(p) = payload {
+        panic::resume_unwind(p);
+    }
+    for (i, finished) in verdicts {
+        done[i] = finished;
     }
 }
 
@@ -135,11 +215,16 @@ mod tests {
     fn describe_names_strategies() {
         assert_eq!(Execution::Sequential.describe(), "sequential");
         assert_eq!(Execution::parallel(4).describe(), "parallel(4)");
+        assert_eq!(Execution::scoped_per_epoch(4).describe(), "scoped(4)");
     }
 
     #[test]
     fn parallel_clamps_to_one_worker() {
         assert_eq!(Execution::parallel(0), Execution::parallel(1));
+        assert_eq!(
+            Execution::scoped_per_epoch(0),
+            Execution::scoped_per_epoch(1)
+        );
     }
 
     #[test]

@@ -28,12 +28,18 @@
 //!   [`run_autoscaled`]). Routers only ever see the active mask;
 //!   draining replicas finish their residents and drop out of epoch
 //!   stepping once empty.
-//! * [`executor`] — how epochs run: [`Execution::Sequential`] walks the
-//!   replicas on the coordinator thread; [`Execution::Parallel`] slices
-//!   them across `std::thread::scope` workers. The strategy cannot change
-//!   a byte of any outcome (the equivalence property test in
-//!   `tests/equivalence.rs` holds every shipped router to that), so
-//!   replica count is a *capability*, not a wall-clock cost.
+//! * [`executor`] / [`pool`] — how epochs run: [`Execution::Sequential`]
+//!   walks the replicas on the coordinator thread;
+//!   [`Execution::Parallel`] feeds busy replicas to a persistent,
+//!   condvar-parked [`WorkerPool`] spawned once per run (the legacy
+//!   per-epoch `std::thread::scope` strategy survives as
+//!   [`Execution::ScopedPerEpoch`], a differential baseline). On top of
+//!   the pool, load-oblivious routers let the coordinator coalesce
+//!   consecutive arrival barriers whose dispatches land on quiescent
+//!   replicas. None of it can change a byte of any outcome (the
+//!   equivalence property tests in `tests/equivalence.rs` and
+//!   `tests/pool.rs` hold every shipped router and strategy to that),
+//!   so replica count is a *capability*, not a wall-clock cost.
 //!
 //! Routing decisions consume [`EngineLoad`](tokenflow_core::EngineLoad)
 //! snapshots only, so routers cannot reach into replica internals and the
@@ -46,12 +52,14 @@
 
 pub mod cluster;
 pub mod executor;
+pub mod pool;
 pub mod router;
 
 pub use cluster::{
     run_autoscaled, run_cluster, run_cluster_with, Assignment, ClusterEngine, ClusterOutcome,
 };
-pub use executor::Execution;
+pub use executor::{Execution, ExecutorStats};
+pub use pool::WorkerPool;
 pub use router::{
     BacklogAwareRouter, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
 };

@@ -40,6 +40,18 @@ pub trait Router: Send {
     /// `loads` holds one snapshot per replica, in replica order, and is
     /// never empty.
     fn route(&mut self, spec: &RequestSpec, loads: &[EngineLoad]) -> usize;
+
+    /// Whether this policy's decisions are independent of snapshot
+    /// *contents* (it may still read `loads.len()`). A router returning
+    /// `true` must produce the same pick sequence for any snapshot
+    /// values of a given length; the cluster exploits that to reuse one
+    /// snapshot set per dispatch group and to coalesce consecutive
+    /// arrival barriers whose dispatches land on quiescent replicas
+    /// (see `ClusterEngine::extend_span`). Defaults to `false` — the
+    /// conservative answer is always sound.
+    fn load_oblivious(&self) -> bool {
+        false
+    }
 }
 
 /// Boxed routers are routers.
@@ -50,6 +62,10 @@ impl<R: Router + ?Sized> Router for Box<R> {
 
     fn route(&mut self, spec: &RequestSpec, loads: &[EngineLoad]) -> usize {
         (**self).route(spec, loads)
+    }
+
+    fn load_oblivious(&self) -> bool {
+        (**self).load_oblivious()
     }
 }
 
@@ -75,6 +91,12 @@ impl Router for RoundRobinRouter {
         let choice = self.next % loads.len();
         self.next = (self.next + 1) % loads.len();
         choice
+    }
+
+    fn load_oblivious(&self) -> bool {
+        // Rotation reads only `loads.len()`, which is fixed between
+        // control barriers — the contract `load_oblivious` promises.
+        true
     }
 }
 

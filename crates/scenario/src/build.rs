@@ -143,6 +143,7 @@ impl ExecutionSpec {
         match self {
             ExecutionSpec::Sequential => Execution::Sequential,
             ExecutionSpec::Parallel(threads) => Execution::parallel(*threads as usize),
+            ExecutionSpec::Auto => Execution::parallel_auto(),
         }
     }
 }

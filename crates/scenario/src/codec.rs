@@ -531,10 +531,54 @@ pub fn control_from_json(v: &Json, path: &str) -> Result<ControlSpec, SpecError>
     Ok(spec)
 }
 
-/// Parses an [`ExecutionSpec`] (a bare string or `{"type": "parallel", "threads": n}`).
+/// Parses an [`ExecutionSpec`]: a bare string (`"sequential"`,
+/// `"auto"`), a `{"type": "parallel", "threads": n}` object, or the
+/// nested shorthand `{"parallel": {"threads": n}}`. Unknown strategy
+/// names list the valid alternatives.
 pub fn execution_from_json(v: &Json, path: &str) -> Result<ExecutionSpec, SpecError> {
+    // Nested shorthand: a single-key object whose key names the
+    // strategy, e.g. {"parallel": {"threads": 8}}.
+    if let Some(members) = v.as_obj() {
+        if v.get("type").is_none() {
+            let [(name, body)] = members else {
+                return Err(invalid(
+                    path,
+                    "expected a strategy string, a {\"type\": …} object, \
+                     or a single-key {\"parallel\": {…}} object",
+                ));
+            };
+            if !EXECUTION_NAMES.contains(&name.as_str()) {
+                return Err(unknown_name(path, name, EXECUTION_NAMES));
+            }
+            let inner = format!("{path}.{name}");
+            return match name.as_str() {
+                "parallel" => {
+                    check_fields(body, &inner, &["threads"])?;
+                    let threads = get_u64(body, &inner, "threads", 4)?;
+                    if threads == 0 {
+                        return Err(invalid(&format!("{inner}.threads"), "must be ≥ 1"));
+                    }
+                    Ok(ExecutionSpec::Parallel(threads))
+                }
+                "sequential" => {
+                    check_fields(body, &inner, &[])?;
+                    Ok(ExecutionSpec::Sequential)
+                }
+                _ => {
+                    check_fields(body, &inner, &[])?;
+                    Ok(ExecutionSpec::Auto)
+                }
+            };
+        }
+    }
     match type_tag(v, path, EXECUTION_NAMES)? {
         "sequential" => Ok(ExecutionSpec::Sequential),
+        "auto" => {
+            if v.as_obj().is_some() {
+                check_fields(v, path, &["type"])?;
+            }
+            Ok(ExecutionSpec::Auto)
+        }
         "parallel" => {
             if v.as_obj().is_some() {
                 check_fields(v, path, &["type", "threads"])?;
@@ -1039,6 +1083,7 @@ fn control_to_json(spec: &ControlSpec) -> Json {
 fn execution_to_json(spec: &ExecutionSpec) -> Json {
     match spec {
         ExecutionSpec::Sequential => s("sequential"),
+        ExecutionSpec::Auto => s("auto"),
         ExecutionSpec::Parallel(threads) => {
             obj(vec![("type", s("parallel")), ("threads", ni(*threads))])
         }

@@ -65,6 +65,6 @@ pub use spec::{
     TOPOLOGY_NAMES, WORKLOAD_TYPE_NAMES,
 };
 pub use sweep::{
-    is_sweep, parse_sweep, run_sweep, sweep_from_json, sweep_table, sweep_to_json, Axis, SweepCell,
-    SweepSpec,
+    is_sweep, parse_sweep, run_sweep, run_sweep_jobs, sweep_from_json, sweep_table, sweep_to_json,
+    Axis, SweepCell, SweepSpec,
 };

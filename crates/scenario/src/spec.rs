@@ -40,7 +40,7 @@ pub const PRESET_NAMES: &[&str] = &[
 /// Valid `topology.type` names.
 pub const TOPOLOGY_NAMES: &[&str] = &["single", "cluster", "autoscaled"];
 /// Valid `execution` forms.
-pub const EXECUTION_NAMES: &[&str] = &["sequential", "parallel"];
+pub const EXECUTION_NAMES: &[&str] = &["sequential", "parallel", "auto"];
 /// Valid `arrivals.type` names.
 pub const ARRIVAL_NAMES: &[&str] = &["burst", "poisson", "mmpp", "diurnal"];
 /// Valid length-distribution `type` names.
@@ -277,8 +277,12 @@ pub enum ExecutionSpec {
     /// Advance replicas on the coordinator thread.
     #[default]
     Sequential,
-    /// Advance replicas on up to this many scoped worker threads.
+    /// Advance replicas on a persistent worker pool with this many
+    /// lanes.
     Parallel(u64),
+    /// Pool sized to the host's available parallelism
+    /// ([`Execution::parallel_auto`](tokenflow_cluster::Execution::parallel_auto)).
+    Auto,
 }
 
 /// An engine-facing workload description.

@@ -327,16 +327,66 @@ pub struct SweepCell {
     pub outcome: RunOutcome,
 }
 
-/// Expands and runs a whole sweep, in cell order.
+/// Expands and runs a whole sweep on the calling thread, in cell order.
+/// Equivalent to [`run_sweep_jobs`] with one job.
 pub fn run_sweep(sweep: &SweepSpec) -> Result<Vec<SweepCell>, SpecError> {
-    sweep
-        .expand()?
-        .into_iter()
-        .map(|(label, spec)| {
-            Ok(SweepCell {
-                label,
-                outcome: spec.build()?.run(),
+    run_sweep_jobs(sweep, std::num::NonZeroUsize::MIN)
+}
+
+/// Expands and runs a whole sweep with up to `jobs` cells in flight at
+/// once. Cells are independent deterministic simulations, so the result
+/// — content *and* order — is byte-identical to the serial runner: each
+/// worker claims the next unstarted cell from a shared cursor and writes
+/// its outcome into that cell's own slot, so completion order never
+/// leaks into the output. The calling thread participates as one of the
+/// jobs.
+///
+/// When any cell fails to build, the error reported is the first in
+/// **cell order** (the serial runner stops at that cell; the parallel
+/// runner may also have run later cells, whose results are discarded).
+pub fn run_sweep_jobs(
+    sweep: &SweepSpec,
+    jobs: std::num::NonZeroUsize,
+) -> Result<Vec<SweepCell>, SpecError> {
+    let cells = sweep.expand()?;
+    if jobs.get() == 1 || cells.len() <= 1 {
+        return cells
+            .into_iter()
+            .map(|(label, spec)| {
+                Ok(SweepCell {
+                    label,
+                    outcome: spec.build()?.run(),
+                })
             })
+            .collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<Result<RunOutcome, SpecError>>>> = (0..cells.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let worker = || loop {
+        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let Some((_, spec)) = cells.get(i) else {
+            return;
+        };
+        let result = spec.build().map(|harness| harness.run());
+        *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.get().min(cells.len()) - 1 {
+            scope.spawn(worker);
+        }
+        worker();
+    });
+    cells
+        .into_iter()
+        .zip(slots)
+        .map(|((label, _), slot)| {
+            let outcome = slot
+                .into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every claimed cell writes its slot")?;
+            Ok(SweepCell { label, outcome })
         })
         .collect()
 }
@@ -462,6 +512,25 @@ mod tests {
         assert_eq!(table.lines().count(), 7, "{table}");
         let grid = sweep_to_json(&sweep, &cells);
         assert_eq!(grid.get("cells").unwrap().as_arr().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn parallel_jobs_pin_output_to_spec_order() {
+        let sweep = parse_sweep(DOC).unwrap();
+        let serial = run_sweep(&sweep).unwrap();
+        let jobs = std::num::NonZeroUsize::new(4).expect("non-zero");
+        let parallel = run_sweep_jobs(&sweep, jobs).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label, "cell order must follow spec order");
+            assert_eq!(a.outcome.digest(), b.outcome.digest(), "cell {}", a.label);
+        }
+        // The rendered artifacts are pinned too, byte for byte.
+        assert_eq!(sweep_table(&serial), sweep_table(&parallel));
+        assert_eq!(
+            sweep_to_json(&sweep, &serial).emit_pretty(),
+            sweep_to_json(&sweep, &parallel).emit_pretty()
+        );
     }
 
     #[test]

@@ -127,6 +127,7 @@ fn arb_control() -> impl Strategy<Value = ControlSpec> {
 fn arb_execution() -> impl Strategy<Value = ExecutionSpec> {
     prop_oneof![
         Just(ExecutionSpec::Sequential),
+        Just(ExecutionSpec::Auto),
         (1u64..64).prop_map(ExecutionSpec::Parallel),
     ]
 }
@@ -404,6 +405,84 @@ fn unknown_names_are_typed_errors_listing_valid_ones() {
             other => panic!("{doc}: expected UnknownName, got {other:?}"),
         }
     }
+}
+
+#[test]
+fn execution_grammar_accepts_every_documented_form() {
+    let parse = |doc: &str| {
+        codec::execution_from_json(&json::parse(doc).unwrap(), "topology.execution").unwrap()
+    };
+    // Bare strings.
+    assert_eq!(parse(r#""sequential""#), ExecutionSpec::Sequential);
+    assert_eq!(parse(r#""auto""#), ExecutionSpec::Auto);
+    // The canonical tagged object.
+    assert_eq!(
+        parse(r#"{"type": "parallel", "threads": 8}"#),
+        ExecutionSpec::Parallel(8)
+    );
+    // The nested single-key shorthand, with and without threads.
+    assert_eq!(
+        parse(r#"{"parallel": {"threads": 8}}"#),
+        ExecutionSpec::Parallel(8)
+    );
+    assert_eq!(parse(r#"{"parallel": {}}"#), ExecutionSpec::Parallel(4));
+    // Every accepted form survives the canonical round trip.
+    for spec in [
+        ExecutionSpec::Sequential,
+        ExecutionSpec::Auto,
+        ExecutionSpec::Parallel(8),
+    ] {
+        let emitted = codec::scenario_to_json(&ScenarioSpec {
+            topology: TopologySpec::Cluster {
+                replicas: 2,
+                router: RouterSpec::RoundRobin,
+                execution: spec,
+            },
+            ..ScenarioSpec::default()
+        })
+        .emit();
+        let reparsed = codec::parse_scenario(&emitted).unwrap();
+        match reparsed.topology {
+            TopologySpec::Cluster { execution, .. } => assert_eq!(execution, spec),
+            other => panic!("expected cluster topology, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn execution_grammar_rejects_bad_forms_with_typed_errors() {
+    let parse = |doc: &str| codec::execution_from_json(&json::parse(doc).unwrap(), "e");
+    // Unknown strategy names list the valid alternatives, in both the
+    // tagged and the nested form.
+    for doc in [r#""threaded""#, r#"{"threaded": {"threads": 2}}"#] {
+        match parse(doc) {
+            Err(SpecError::UnknownName { got, valid, .. }) => {
+                assert_eq!(got, "threaded", "for {doc}");
+                assert_eq!(valid, vec!["sequential", "parallel", "auto"], "for {doc}");
+            }
+            other => panic!("{doc}: expected UnknownName, got {other:?}"),
+        }
+    }
+    // Zero threads is a parse-time error in both object forms.
+    for doc in [
+        r#"{"type": "parallel", "threads": 0}"#,
+        r#"{"parallel": {"threads": 0}}"#,
+    ] {
+        assert!(
+            matches!(parse(doc), Err(SpecError::Invalid { .. })),
+            "{doc} must be rejected"
+        );
+    }
+    // Stray fields inside the nested body are typo-checked.
+    assert!(matches!(
+        parse(r#"{"parallel": {"treads": 2}}"#),
+        Err(SpecError::UnknownField { .. })
+    ));
+    // A multi-key untagged object is not a strategy.
+    assert!(matches!(
+        parse(r#"{"parallel": {}, "sequential": {}}"#),
+        Err(SpecError::Invalid { .. })
+    ));
 }
 
 #[test]

@@ -16,11 +16,13 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use std::num::NonZeroUsize;
+
 use tokenflow_scenario::{
-    is_sweep, json, run_sweep, scenario_from_json, sweep_from_json, sweep_table, sweep_to_json,
-    SpecError, ARRIVAL_NAMES, HARDWARE_NAMES, LENGTH_DIST_NAMES, MODEL_NAMES, PRESET_NAMES,
-    RATE_DIST_NAMES, ROUTER_NAMES, SCALE_POLICY_NAMES, SCHEDULER_NAMES, TOPOLOGY_NAMES,
-    WORKLOAD_TYPE_NAMES,
+    is_sweep, json, run_sweep_jobs, scenario_from_json, sweep_from_json, sweep_table,
+    sweep_to_json, SpecError, ARRIVAL_NAMES, HARDWARE_NAMES, LENGTH_DIST_NAMES, MODEL_NAMES,
+    PRESET_NAMES, RATE_DIST_NAMES, ROUTER_NAMES, SCALE_POLICY_NAMES, SCHEDULER_NAMES,
+    TOPOLOGY_NAMES, WORKLOAD_TYPE_NAMES,
 };
 
 const USAGE: &str = "\
@@ -28,9 +30,13 @@ tokenflow — declarative scenario runner for the TokenFlow serving stack
 
 USAGE:
     tokenflow run <scenario.json> [--out <report.json>]
-    tokenflow sweep <sweep.json> [--out <grid.json>]
+    tokenflow sweep <sweep.json> [--out <grid.json>] [--jobs <N|auto>]
     tokenflow validate <spec.json> [<spec.json> ...]
     tokenflow list-policies
+
+Sweep cells run on up to --jobs threads (default: auto, one per
+available core); results are printed in spec order either way, byte
+for byte.
 
 Scenario files describe one serving stack (model, hardware, engine knobs,
 scheduler, workload, topology); sweep files add an `axes` object listing
@@ -66,10 +72,16 @@ fn main() -> ExitCode {
     }
 }
 
-/// Splits `[file, --out, path]`-style argument lists.
-fn file_and_out(args: &[String], command: &str) -> Result<(String, Option<String>), String> {
+/// Splits `[file, --out, path, --jobs, n]`-style argument lists.
+/// `jobs` is `None` unless the command accepts (and received) `--jobs`.
+fn file_and_flags(
+    args: &[String],
+    command: &str,
+    accepts_jobs: bool,
+) -> Result<(String, Option<String>, Option<NonZeroUsize>), String> {
     let mut file = None;
     let mut out = None;
+    let mut jobs = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +92,12 @@ fn file_and_out(args: &[String], command: &str) -> Result<(String, Option<String
                         .clone(),
                 );
             }
+            "--jobs" if accepts_jobs => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--jobs needs a count or `auto`".to_string())?;
+                jobs = Some(parse_jobs(value)?);
+            }
             other if file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -87,7 +105,21 @@ fn file_and_out(args: &[String], command: &str) -> Result<(String, Option<String
     Ok((
         file.ok_or_else(|| format!("usage: tokenflow {command} <file.json> [--out <path>]"))?,
         out,
+        jobs,
     ))
+}
+
+fn parse_jobs(value: &str) -> Result<NonZeroUsize, String> {
+    if value == "auto" {
+        return Ok(auto_jobs());
+    }
+    value
+        .parse::<NonZeroUsize>()
+        .map_err(|_| format!("--jobs expects a positive integer or `auto`, got `{value}`"))
+}
+
+fn auto_jobs() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
 fn load_json(path: &str) -> Result<json::Json, String> {
@@ -108,7 +140,7 @@ fn base_dir(path: &str) -> std::path::PathBuf {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let (path, out) = file_and_out(args, "run")?;
+    let (path, out, _) = file_and_flags(args, "run", false)?;
     let doc = load_json(&path)?;
     if is_sweep(&doc) {
         return Err(format!(
@@ -141,7 +173,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let (path, out) = file_and_out(args, "sweep")?;
+    let (path, out, jobs) = file_and_flags(args, "sweep", true)?;
+    let jobs = jobs.unwrap_or_else(auto_jobs);
     let doc = load_json(&path)?;
     if !is_sweep(&doc) {
         return Err(format!(
@@ -151,12 +184,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut sweep = sweep_from_json(&doc).map_err(|e| spec_err(&path, e))?;
     sweep.rebase_paths(&base_dir(&path));
     eprintln!(
-        "sweep `{}`: {} axes, {} cells",
+        "sweep `{}`: {} axes, {} cells, {} job(s)",
         sweep.name,
         sweep.axes.len(),
-        sweep.cells()
+        sweep.cells(),
+        jobs
     );
-    let cells = run_sweep(&sweep).map_err(|e| spec_err(&path, e))?;
+    let cells = run_sweep_jobs(&sweep, jobs).map_err(|e| spec_err(&path, e))?;
     println!("{}", sweep_table(&cells));
     if let Some(out_path) = out {
         let grid = sweep_to_json(&sweep, &cells).emit_pretty();
