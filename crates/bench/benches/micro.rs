@@ -58,6 +58,7 @@ fn sched_ctx(n: u64) -> SchedContext {
             load_secs: 0.02,
             reserved_tokens: 0,
             elastic: false,
+            inbound: false,
         })
         .collect();
     SchedContextBuilder::new(SimTime::from_secs(100))

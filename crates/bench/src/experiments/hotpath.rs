@@ -23,11 +23,14 @@
 //!
 //! `HOTPATH_SIZES` (comma-separated labels from `smoke,10k,100k,500k`)
 //! restricts the sweep — CI runs `HOTPATH_SIZES=smoke` as its
-//! regression gate.
+//! regression gate. `HOTPATH_FAST=off` disables the plan-horizon fast
+//! path, so a runner can measure the on/off pair on its own hardware
+//! and gate the *ratio* — immune to the speed gap between the machine
+//! that committed the baseline and shared CI runners.
 
 use std::time::Instant;
 
-use tokenflow_core::{Engine, EngineConfig, StepOutcome};
+use tokenflow_core::{Engine, EngineConfig, FastPathStats, StepOutcome};
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sched::TokenFlowScheduler;
 use tokenflow_sim::{SimDuration, SimTime};
@@ -97,6 +100,15 @@ pub struct HotpathWindow {
     pub finished: usize,
     /// Simulation time at the window's end.
     pub sim_time: SimTime,
+    /// Steps in the window served by the plan-horizon fast path.
+    pub fast_steps: u64,
+    /// Horizons armed during the window.
+    pub horizons_issued: u64,
+    /// Horizons dropped by an invalidating event (epoch bump, gate
+    /// refresh emptying the batch, or a failed fit check).
+    pub horizons_invalidated: u64,
+    /// Horizons that ran out their validity time.
+    pub horizons_expired: u64,
 }
 
 impl HotpathWindow {
@@ -113,6 +125,11 @@ impl HotpathWindow {
     /// Simulated tokens delivered per wall-clock second.
     pub fn tokens_per_wall_sec(&self) -> f64 {
         self.tokens as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Fraction of the window's steps served by the fast path.
+    pub fn fast_step_ratio(&self) -> f64 {
+        self.fast_steps as f64 / self.steps.max(1) as f64
     }
 }
 
@@ -133,6 +150,8 @@ pub struct HotpathRow {
     pub early: HotpathWindow,
     /// The final window — late in the run, large finished population.
     pub late: HotpathWindow,
+    /// Whole-run fast-path counters at the end of the prefix.
+    pub fast_path: FastPathStats,
 }
 
 /// The deterministic trace of one case: a diurnal base at 12 req/s peak
@@ -154,7 +173,9 @@ pub fn trace(case: &HotpathCase) -> Workload {
 /// every submitted request from iteration zero.
 pub fn measure(case: &HotpathCase) -> HotpathRow {
     let workload = trace(case);
-    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200());
+    let fast = !matches!(std::env::var("HOTPATH_FAST").as_deref(), Ok("off"));
+    let config = EngineConfig::new(ModelProfile::llama3_8b(), HardwareProfile::h200())
+        .with_plan_horizon(fast);
     let mut engine = Engine::new(config, TokenFlowScheduler::new());
     for spec in workload.iter() {
         engine.submit(*spec);
@@ -172,6 +193,7 @@ pub fn measure(case: &HotpathCase) -> HotpathRow {
         let budget = WINDOW_STEPS.min(case.step_cap - total_steps);
         let mut steps = 0u64;
         let mut tokens = 0u64;
+        let fp_before = engine.fast_path_stats();
         let start = Instant::now();
         while steps < budget {
             engine.step_into(&mut out);
@@ -183,6 +205,7 @@ pub fn measure(case: &HotpathCase) -> HotpathRow {
             }
         }
         let wall_secs = start.elapsed().as_secs_f64();
+        let fp = engine.fast_path_stats();
         let load = engine.load_snapshot();
         let finished = load.submitted - load.live;
         windows.push(HotpathWindow {
@@ -192,6 +215,10 @@ pub fn measure(case: &HotpathCase) -> HotpathRow {
             live: load.arrived - finished,
             finished,
             sim_time: load.now,
+            fast_steps: fp.fast_steps - fp_before.fast_steps,
+            horizons_issued: fp.horizons_issued - fp_before.horizons_issued,
+            horizons_invalidated: fp.horizons_invalidated - fp_before.horizons_invalidated,
+            horizons_expired: fp.horizons_expired - fp_before.horizons_expired,
         });
         total_steps += steps;
         total_wall += wall_secs;
@@ -209,6 +236,7 @@ pub fn measure(case: &HotpathCase) -> HotpathRow {
         done,
         early,
         late,
+        fast_path: engine.fast_path_stats(),
     }
 }
 
@@ -216,7 +244,9 @@ fn window_json(w: &HotpathWindow) -> String {
     format!(
         "{{\"steps\": {}, \"steps_per_sec\": {:.1}, \"us_per_step\": {:.2}, \
          \"sim_tokens_per_wall_sec\": {:.0}, \"live\": {}, \"finished\": {}, \
-         \"sim_secs\": {:.2}}}",
+         \"sim_secs\": {:.2}, \"fast_steps\": {}, \"fast_step_ratio\": {:.3}, \
+         \"horizons_issued\": {}, \"horizons_invalidated\": {}, \
+         \"horizons_expired\": {}}}",
         w.steps,
         w.steps_per_sec(),
         w.us_per_step(),
@@ -224,6 +254,11 @@ fn window_json(w: &HotpathWindow) -> String {
         w.live,
         w.finished,
         w.sim_time.saturating_since(SimTime::ZERO).as_secs_f64(),
+        w.fast_steps,
+        w.fast_step_ratio(),
+        w.horizons_issued,
+        w.horizons_invalidated,
+        w.horizons_expired,
     )
 }
 
@@ -243,6 +278,8 @@ pub fn hotpath_json(rows: &[HotpathRow]) -> String {
         s.push_str(&format!(
             "    {{\"label\": \"{}\", \"requests\": {}, \"steps\": {}, \
              \"wall_secs\": {:.3}, \"overall_steps_per_sec\": {:.1}, \"done\": {},\n     \
+             \"fast_path\": {{\"fast_steps\": {}, \"horizons_issued\": {}, \
+             \"horizons_invalidated\": {}, \"horizons_expired\": {}}},\n     \
              \"early\": {},\n     \"late\": {}}}{}\n",
             r.label,
             r.requests,
@@ -250,6 +287,10 @@ pub fn hotpath_json(rows: &[HotpathRow]) -> String {
             r.wall_secs,
             r.steps as f64 / r.wall_secs.max(1e-9),
             r.done,
+            r.fast_path.fast_steps,
+            r.fast_path.horizons_issued,
+            r.fast_path.horizons_invalidated,
+            r.fast_path.horizons_expired,
             window_json(&r.early),
             window_json(&r.late),
             if i + 1 == rows.len() { "" } else { "," },
@@ -313,6 +354,8 @@ pub fn hotpath() -> String {
         "late live",
         "late finished",
         "late tok/wall-s",
+        "late fast %",
+        "fast/inval/exp",
     ]);
     for r in &rows {
         table.row(vec![
@@ -325,6 +368,13 @@ pub fn hotpath() -> String {
             r.late.live.to_string(),
             r.late.finished.to_string(),
             f(r.late.tokens_per_wall_sec(), 0),
+            f(r.late.fast_step_ratio() * 100.0, 1),
+            format!(
+                "{}/{}/{}",
+                r.fast_path.fast_steps,
+                r.fast_path.horizons_invalidated,
+                r.fast_path.horizons_expired
+            ),
         ]);
     }
     s.push_str(&table.render());
@@ -371,6 +421,8 @@ mod tests {
         assert!(json.contains("\"label\": \"tiny\""));
         assert!(json.contains("\"early\": {"));
         assert!(json.contains("\"late\": {"));
+        assert!(json.contains("\"fast_path\": {"));
+        assert!(json.contains("\"horizons_issued\""));
         // One row, no trailing comma before the array close.
         assert!(!json.contains("},\n  ]"));
     }

@@ -22,6 +22,7 @@ pub(crate) fn ingest_arrivals(
     now: SimTime,
 ) {
     while let Some(entry) = arrivals.pop_due(now) {
+        st.decision_epoch += 1;
         st.live_count += 1;
         // Requests cannot leave WaitingNew before they arrive (the
         // scheduler only ever sees arrived requests), so each arrival
@@ -95,6 +96,7 @@ pub(crate) fn build_ctx_into(
             load_secs,
             reserved_tokens: reserved,
             elastic: s.kind == tokenflow_workload::ClientKind::Agent,
+            inbound: matches!(phase, Phase::Prefilling | Phase::Loading),
         });
     }
     st.live_ids.truncate(write);
@@ -143,6 +145,7 @@ fn admit_prefill(st: &mut EngineState, kv: &mut KvManager, id: RequestId) {
         }
         _ => return, // stale action; ignore
     }
+    st.decision_epoch += 1;
     let s = st.state_mut(id);
     s.prefill_target = s.context_tokens();
     s.prefill_done = 0;
@@ -162,6 +165,7 @@ pub(crate) fn apply_preempt(
     if st.state(id).phase != Phase::Running {
         return; // stale action
     }
+    st.decision_epoch += 1;
     st.remove_running(id);
     st.state_mut(id).metrics.preemptions += 1;
     let discard = |st: &mut EngineState, kv: &mut KvManager, id: RequestId| {
@@ -195,6 +199,7 @@ pub(crate) fn apply_plan(
             Action::AdmitPrefill(id) => admit_prefill(st, kv, id),
             Action::Resume(id) => {
                 if st.state(id).phase == Phase::OnCpu && kv.begin_load(id, now).is_ok() {
+                    st.decision_epoch += 1;
                     st.state_mut(id).phase = Phase::Loading;
                 }
             }

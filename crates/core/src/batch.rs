@@ -127,7 +127,7 @@ pub(crate) fn compose_into(
 }
 
 /// Blocks newly required by appending one token to each decode member.
-fn decode_blocks_needed(kv: &KvManager, decode: &[RequestId], bt: u64) -> u64 {
+pub(crate) fn decode_blocks_needed(kv: &KvManager, decode: &[RequestId], bt: u64) -> u64 {
     decode
         .iter()
         .filter(|&&id| kv.context_tokens(id).is_multiple_of(bt))
@@ -137,7 +137,9 @@ fn decode_blocks_needed(kv: &KvManager, decode: &[RequestId], bt: u64) -> u64 {
 /// Memory pre-check: makes room for decode appends plus completing
 /// prefills, first through the scheduler's emergency-reclaim path, then by
 /// deferring completing prefills, then by shedding decode members until
-/// the remainder fits.
+/// the remainder fits. Returns `true` when the batch fit as composed —
+/// no reclamation, deferral, or shedding was needed (the plan-horizon
+/// fast path only arms over such clean iterations).
 ///
 /// Only *block-boundary* members (context a multiple of the block size,
 /// so this iteration's token needs a fresh block) are shed candidates:
@@ -156,7 +158,7 @@ pub(crate) fn fit_memory(
     profs: &EngineProfilers,
     scratch: &mut SchedContext,
     now: SimTime,
-) {
+) -> bool {
     let bt = config.block_tokens as u64;
     let completing_blocks: u64 = batch
         .prefill
@@ -165,7 +167,8 @@ pub(crate) fn fit_memory(
         .map(|p| st.state(p.id).prefill_target.div_ceil(bt))
         .sum();
     let mut needed = decode_blocks_needed(kv, &batch.decode, bt) + completing_blocks;
-    if kv.gpu_free_tokens() / bt < needed
+    let fits_clean = kv.gpu_free_tokens() / bt >= needed;
+    if !fits_clean
         && !admission::emergency_reclaim(
             st, kv, scheduler, cost, config, profs, scratch, needed, now,
         )
@@ -214,6 +217,7 @@ pub(crate) fn fit_memory(
     batch
         .decode
         .retain(|&id| st.state(id).phase == Phase::Running);
+    fits_clean
 }
 
 /// Prices the iteration with the analytical cost model.

@@ -42,6 +42,16 @@ pub struct EngineConfig {
     /// Simulation safety deadline: runs longer than this are cut off and
     /// reported incomplete.
     pub deadline: SimDuration,
+    /// Iteration-count safety cap for [`run_to_completion`]
+    /// (`Engine::run_to_completion`): a backstop against non-terminating
+    /// configurations (e.g. a required rate no hardware satisfies).
+    pub max_iterations: u64,
+    /// Honor scheduler plan horizons: replay the composed batch across
+    /// certified-quiescent decode steps instead of re-running admission,
+    /// planning, and composition. `false` forces the full pipeline every
+    /// step (the differential-testing and debugging path); results are
+    /// byte-identical either way.
+    pub plan_horizon: bool,
 }
 
 impl EngineConfig {
@@ -66,7 +76,21 @@ impl EngineConfig {
             sample_interval: SimDuration::from_millis(1_000),
             timeline_requests: 0,
             deadline: SimDuration::from_secs(4 * 3_600),
+            max_iterations: 50_000_000,
+            plan_horizon: true,
         }
+    }
+
+    /// Overrides the iteration-count safety cap.
+    pub fn with_max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Enables or disables the plan-horizon fast path.
+    pub fn with_plan_horizon(mut self, enabled: bool) -> Self {
+        self.plan_horizon = enabled;
+        self
     }
 
     /// Sets the memory fraction (SGLang `mem-frac`).

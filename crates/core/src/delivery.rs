@@ -36,6 +36,7 @@ pub(crate) fn apply_prefill_progress(
                 Ok(()) => {
                     st.prefill_queue.retain(|&r| r != slice.id);
                     st.state_mut(slice.id).phase = Phase::Running;
+                    st.decision_epoch += 1;
                     st.push_running(slice.id);
                     // The prefill forward pass emits the next token.
                     deliver_token(st, kv, slice.id, end, qos, outcome);
@@ -111,6 +112,7 @@ pub(crate) fn deliver_token(
         s.phase = Phase::Finished;
         s.metrics.finished_at = Some(at);
         let rate = s.spec.rate;
+        st.decision_epoch += 1;
         st.finished_count += 1;
         st.active_rate_sum = (st.active_rate_sum - rate).max(0.0);
         st.remove_running(id);

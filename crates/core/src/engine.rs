@@ -36,6 +36,54 @@ use crate::{admission, batch, delivery, kv_orchestrator};
 // parallel epoch executor can advance replicas on worker threads.
 const _: () = Engine::assert_send();
 
+/// Why [`Engine::run_to_completion`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Every submitted request finished.
+    Finished,
+    /// The safety deadline tripped with requests still unfinished.
+    Deadline,
+    /// The iteration-count cap ([`EngineConfig::max_iterations`]) tripped
+    /// first — the configuration was not making progress toward
+    /// completion within its budget.
+    IterationCap,
+}
+
+impl Completion {
+    /// True only when every submitted request finished.
+    pub fn is_finished(self) -> bool {
+        self == Completion::Finished
+    }
+}
+
+/// Counters of the plan-horizon fast path, in the style of the cluster
+/// executor's stats: cheap enough to maintain always, rich enough for
+/// the bench harness to report a skip rate per run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Steps served by horizon replay or gate-refresh recompose — the
+    /// full admission/plan/compose pipeline was skipped.
+    pub fast_steps: u64,
+    /// Horizons armed at full-step boundaries.
+    pub horizons_issued: u64,
+    /// Horizons cut short by a decision-epoch event before their
+    /// certified expiry (arrival, finish, transfer completion, …).
+    pub horizons_invalidated: u64,
+    /// Horizons that ran to their certified expiry time.
+    pub horizons_expired: u64,
+}
+
+/// An armed plan-horizon certificate: the scheduler's horizon plus the
+/// decision-epoch snapshot it was issued under. Valid while the clock
+/// stays before `valid_until` *and* the engine's decision epoch still
+/// equals `epoch`.
+#[derive(Debug, Clone, Copy)]
+struct ArmedHorizon {
+    valid_until: SimTime,
+    gates_static: bool,
+    epoch: u64,
+}
+
 /// What one engine step did.
 #[derive(Debug, Clone, Default)]
 pub struct StepOutcome {
@@ -79,6 +127,24 @@ pub struct Engine {
     ctx_batch: SchedContext,
     /// Retained iteration-batch buffer, cleared and refilled per step.
     iter_batch: IterationBatch,
+    /// The active plan-horizon certificate, when armed: across certified
+    /// steps the engine replays `iter_batch` (or re-gates it in place)
+    /// instead of re-running admission, planning, and composition.
+    horizon: Option<ArmedHorizon>,
+    /// Per-horizon cache mapping `st.running[i]` to its index in
+    /// `ctx_batch.requests` (`u32::MAX` = no view). Both lists are
+    /// id-sorted and the context's membership is frozen inside a horizon
+    /// (flips edit views in place, never insert or remove), so the gate
+    /// refresh can use direct indexing instead of a binary search per
+    /// member per step. Cleared at every full step; rebuilt by one merge
+    /// pass when its length no longer matches the running set.
+    running_ctx_idx: Vec<u32>,
+    /// Retained completion-event buffer for transfer application — the
+    /// engine applies transfers up to three times per step, so the
+    /// steady state reuses one allocation.
+    kv_events: Vec<tokenflow_kv::KvEvent>,
+    /// Fast-path counters.
+    fast_stats: FastPathStats,
 }
 
 impl Engine {
@@ -134,6 +200,10 @@ impl Engine {
             ctx_plan: SchedContextBuilder::new(SimTime::ZERO).build(),
             ctx_batch: SchedContextBuilder::new(SimTime::ZERO).build(),
             iter_batch: IterationBatch::default(),
+            horizon: None,
+            running_ctx_idx: Vec::new(),
+            kv_events: Vec::new(),
+            fast_stats: FastPathStats::default(),
             config,
         }
     }
@@ -246,10 +316,44 @@ impl Engine {
         outcome.idle = false;
         outcome.done = false;
 
-        // Stage 1+2 (pre-compute): ingest arrivals, apply finished KV
-        // transfers, then let the scheduler plan against fresh state.
+        // Stage 1+2 (pre-compute): ingest arrivals and apply finished KV
+        // transfers. Both bump the decision epoch when they act, so they
+        // run *before* the horizon check — an arrival or a transfer
+        // completion lands in a full pipeline step.
         admission::ingest_arrivals(&mut self.arrivals, &mut self.st, now);
-        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, now);
+        let mut kv_events = std::mem::take(&mut self.kv_events);
+        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, now, &mut kv_events);
+        self.kv_events = kv_events;
+
+        // Plan-horizon fast path: inside an armed, unexpired certificate
+        // the scheduler's decisions are provably unchanged, so the step
+        // replays the retained batch and pays only pricing + delivery +
+        // telemetry — O(batch) instead of O(live).
+        if self.fast_step_applies(now) {
+            return self.fast_step(now, outcome);
+        }
+
+        self.full_step(now, outcome)
+    }
+
+    /// The full pipeline step: context build, plan, compose, fit, price,
+    /// deliver — and, on a clean quiescent iteration, arming the next
+    /// plan horizon.
+    fn full_step(&mut self, now: SimTime, outcome: &mut StepOutcome) {
+        // Any decision event between here and the end of the step
+        // (admission, preemption, prefill completion, finish) moves the
+        // epoch past this snapshot and vetoes arming: the retained batch
+        // and context would be stale.
+        let epoch_at_plan = self.st.decision_epoch;
+
+        // The flip journal only matters to an armed horizon's retained
+        // context; this step rebuilds its contexts from true phases, so
+        // everything journaled up to now is already reflected. Flips
+        // landing later in this step (the in-compute transfer advance)
+        // stay journaled for the fast path to reconcile.
+        self.st.transfer_flips.clear();
+
+        // Let the scheduler plan against fresh state.
         admission::build_ctx_into(
             &mut self.ctx_plan,
             &mut self.st,
@@ -263,16 +367,25 @@ impl Engine {
         admission::apply_plan(&mut self.st, &mut self.kv, plan.actions, now);
 
         // Stage 3: compose the iteration batch against post-plan state and
-        // fit it into GPU memory.
-        admission::build_ctx_into(
-            &mut self.ctx_batch,
-            &mut self.st,
-            &self.kv,
-            &self.cost,
-            &self.config,
-            &self.profs,
-            now,
-        );
+        // fit it into GPU memory. When the plan did not act (the epoch
+        // still matches its snapshot — stale actions are ignored without
+        // bumping it), post-plan state IS pre-plan state and the context
+        // just built for planning is byte-for-byte what a rebuild would
+        // produce; swap it into the batch slot instead of paying the
+        // O(live) walk twice.
+        if self.st.decision_epoch == epoch_at_plan {
+            std::mem::swap(&mut self.ctx_plan, &mut self.ctx_batch);
+        } else {
+            admission::build_ctx_into(
+                &mut self.ctx_batch,
+                &mut self.st,
+                &self.kv,
+                &self.cost,
+                &self.config,
+                &self.profs,
+                now,
+            );
+        }
         batch::compose_into(
             &mut self.iter_batch,
             &self.st,
@@ -280,7 +393,7 @@ impl Engine {
             &self.ctx_batch,
             &self.config,
         );
-        batch::fit_memory(
+        let fits_clean = batch::fit_memory(
             &mut self.iter_batch,
             &mut self.st,
             &mut self.kv,
@@ -313,7 +426,9 @@ impl Engine {
             iter_time,
         );
         let end = self.clock.advance(iter_time);
-        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, end);
+        let mut kv_events = std::mem::take(&mut self.kv_events);
+        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, end, &mut kv_events);
+        self.kv_events = kv_events;
 
         // Stage 4: deliveries and telemetry.
         let qos = self.config.qos;
@@ -341,6 +456,213 @@ impl Engine {
         self.profs.decode.record(end, decode_delivered);
         self.telemetry.sample(&self.st, &self.kv, end);
         self.iterations += 1;
+        outcome.now = end;
+        outcome.done = self.st.all_finished() && self.arrivals.is_empty();
+
+        // The ctx-index cache derives from this step's rebuilt context
+        // and running set; any new horizon starts from a fresh merge.
+        self.running_ctx_idx.clear();
+
+        // Arm the next plan horizon over clean, decode-only iterations:
+        // the batch fit as composed, nothing prefill-shaped is pending,
+        // and no decision event happened during the step (the epoch
+        // still matches, so `ctx_batch` and `iter_batch` describe the
+        // state the next step starts from, modulo journaled transfer
+        // flips the fast path reconciles on entry). The scheduler then
+        // certifies how long its plan stays a no-op.
+        self.horizon = None;
+        if self.config.plan_horizon
+            && fits_clean
+            && self.st.decision_epoch == epoch_at_plan
+            && self.st.prefill_queue.is_empty()
+            && self.iter_batch.prefill.is_empty()
+            && !self.iter_batch.decode.is_empty()
+        {
+            if let Some(h) = self.scheduler.plan_horizon(&self.ctx_batch) {
+                if h.valid_until > end {
+                    self.horizon = Some(ArmedHorizon {
+                        valid_until: h.valid_until,
+                        gates_static: h.gates_static,
+                        epoch: epoch_at_plan,
+                    });
+                    self.fast_stats.horizons_issued += 1;
+                }
+            }
+        }
+    }
+
+    /// Checks whether the current step may run on the fast path, keeping
+    /// the armed horizon's bookkeeping honest: a failed check disarms it
+    /// (the full pipeline re-arms at its next clean quiescent step).
+    fn fast_step_applies(&mut self, now: SimTime) -> bool {
+        let Some(h) = self.horizon else {
+            return false;
+        };
+        if self.st.decision_epoch != h.epoch {
+            self.horizon = None;
+            self.fast_stats.horizons_invalidated += 1;
+            return false;
+        }
+        if now >= h.valid_until {
+            self.horizon = None;
+            self.fast_stats.horizons_expired += 1;
+            return false;
+        }
+        // Mirror the KV transfer completions that landed since the last
+        // reconcile into the retained context: an in-flight transfer
+        // finishing flips one request's phase (`Evicting → OnCpu` or
+        // `Loading → Running`) without any scheduler decision, and the
+        // horizon's certificate is required to survive it. Phases and
+        // counts first, so gates read the truth below.
+        let flipped = !self.st.transfer_flips.is_empty();
+        if flipped {
+            for i in 0..self.st.transfer_flips.len() {
+                let id = self.st.transfer_flips[i];
+                // Finished requests have no scheduler phase, but a finish
+                // inside the horizon bumps the epoch and never reaches
+                // here — this is belt-and-braces for stale journal rows.
+                if let Some(phase) = self.st.requests[id.0 as usize].phase.sched_phase() {
+                    self.ctx_batch.update_phase(id, phase);
+                }
+            }
+            self.st.transfer_flips.clear();
+        }
+        // Pacing gates may flip with buffer levels inside the horizon,
+        // and a completed load adds a decode member a frozen replay
+        // would miss: refresh the gate-read view fields and recompose
+        // the decode batch in place. An empty recompose is an idle
+        // iteration, which the full pipeline owns.
+        if (flipped || !h.gates_static) && !self.refresh_and_regate(now) {
+            self.horizon = None;
+            self.fast_stats.horizons_invalidated += 1;
+            return false;
+        }
+        // Per-step memory pre-check, exactly the full path's (there is
+        // no prefill inside a horizon): if this step's decode appends
+        // need reclamation or shedding, the full pipeline handles them.
+        let bt = self.config.block_tokens as u64;
+        if batch::decode_blocks_needed(&self.kv, &self.iter_batch.decode, bt)
+            > self.kv.gpu_free_tokens() / bt
+        {
+            self.horizon = None;
+            self.fast_stats.horizons_invalidated += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Refreshes the gate-read fields (buffer occupancy, context and
+    /// remaining counts, started flag) of every running member's view in
+    /// the retained post-plan context, then recomposes the decode batch
+    /// exactly as [`batch::compose_into`] would against a fresh context.
+    /// The running set is current at this point: decision events tore
+    /// the horizon down via the epoch, and transfer flips were already
+    /// mirrored into the context (including members a completed load
+    /// just added), so only per-request progress needs refreshing.
+    /// Returns `false` when the recomposed batch is empty.
+    fn refresh_and_regate(&mut self, now: SimTime) -> bool {
+        self.ctx_batch.set_now(now);
+        if self.running_ctx_idx.len() != self.st.running.len() {
+            self.rebuild_running_ctx_idx();
+        }
+        for i in 0..self.st.running.len() {
+            let id = self.st.running[i];
+            let s = &mut self.st.requests[id.0 as usize];
+            debug_assert_eq!(s.phase, Phase::Running);
+            let snap = s.buffer.snapshot(now);
+            let started = s.generated > 0;
+            let context = s.context_tokens();
+            let remaining = s.remaining_tokens();
+            let ci = self.running_ctx_idx[i] as usize;
+            if let Some(v) = self.ctx_batch.requests.get_mut(ci) {
+                debug_assert_eq!(v.id, id);
+                v.buffered_tokens = snap.buffered;
+                v.buffered_secs = snap.buffered_secs;
+                v.stalled = snap.stalled_now;
+                v.started = started;
+                v.context_tokens = context;
+                v.remaining_tokens = remaining;
+            }
+        }
+        let st = &self.st;
+        let ctx = &self.ctx_batch;
+        let idx = &self.running_ctx_idx;
+        let scheduler = self.scheduler.as_ref();
+        self.iter_batch.decode.clear();
+        self.iter_batch.prefill.clear();
+        self.iter_batch.decode.extend(
+            st.running
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, id)| st.state(id).phase == Phase::Running)
+                .filter(|&(i, _)| {
+                    ctx.requests
+                        .get(idx[i] as usize)
+                        .is_none_or(|v| scheduler.decode_gate(v, ctx))
+                })
+                .map(|(_, id)| id),
+        );
+        !self.iter_batch.decode.is_empty()
+    }
+
+    /// Rebuilds [`Engine::running_ctx_idx`] with one merge pass over the
+    /// two id-sorted lists. Runs when the cache is stale — at a horizon's
+    /// first re-gated step and after a transfer flip grows the running
+    /// set — not per step.
+    fn rebuild_running_ctx_idx(&mut self) {
+        let reqs = &self.ctx_batch.requests;
+        self.running_ctx_idx.clear();
+        let mut j = 0usize;
+        for &id in &self.st.running {
+            while j < reqs.len() && reqs[j].id < id {
+                j += 1;
+            }
+            if j < reqs.len() && reqs[j].id == id {
+                self.running_ctx_idx.push(j as u32);
+            } else {
+                self.running_ctx_idx.push(u32::MAX);
+            }
+        }
+    }
+
+    /// The certified step: replay the (possibly re-gated) retained batch
+    /// and run only the per-step stages — pricing, write-through pump,
+    /// transfer advance, decode delivery, profiler and telemetry feeds.
+    /// Byte-identical to the full pipeline under the horizon's
+    /// certificate, just without re-deriving the identical decisions.
+    fn fast_step(&mut self, now: SimTime, outcome: &mut StepOutcome) {
+        let (spec, iter_time) = batch::price(&self.iter_batch, &self.st, &self.cost);
+        debug_assert_eq!(spec.prefill_tokens, 0);
+        kv_orchestrator::pump_write_through(
+            &mut self.st,
+            &mut self.kv,
+            &self.iter_batch.decode,
+            now,
+            iter_time,
+        );
+        let end = self.clock.advance(iter_time);
+        let mut kv_events = std::mem::take(&mut self.kv_events);
+        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, end, &mut kv_events);
+        self.kv_events = kv_events;
+        let qos = self.config.qos;
+        let decode_delivered = delivery::deliver_decode(
+            &mut self.st,
+            &mut self.kv,
+            &self.iter_batch,
+            now,
+            end,
+            &qos,
+            outcome,
+        );
+        // Feed the profilers the same samples the full path would (the
+        // prefill EMA skips zero-token records there too), so Γ reads
+        // identically at the next full step.
+        self.profs.prefill_rate.record(end, 0);
+        self.profs.decode.record(end, decode_delivered);
+        self.telemetry.sample(&self.st, &self.kv, end);
+        self.iterations += 1;
+        self.fast_stats.fast_steps += 1;
         outcome.now = end;
         outcome.done = self.st.all_finished() && self.arrivals.is_empty();
     }
@@ -400,21 +722,34 @@ impl Engine {
         }
     }
 
-    /// Runs until every submitted request completes (or the safety deadline
-    /// or iteration cap trips). Returns whether the run completed.
-    pub fn run_to_completion(&mut self) -> bool {
+    /// Runs until every submitted request completes, the safety deadline
+    /// passes, or the iteration cap ([`EngineConfig::max_iterations`])
+    /// trips — and says which.
+    pub fn run_to_completion(&mut self) -> Completion {
         let deadline = SimTime::ZERO + self.config.deadline;
-        let max_iterations = 50_000_000u64;
         let mut out = StepOutcome::default();
         loop {
             self.step_into(&mut out);
             if out.done {
-                return true;
+                return Completion::Finished;
             }
-            if out.now >= deadline || self.iterations >= max_iterations {
-                return false;
+            if out.now >= deadline {
+                return Completion::Deadline;
+            }
+            if self.iterations >= self.config.max_iterations {
+                return Completion::IterationCap;
             }
         }
+    }
+
+    /// Plan-horizon fast-path counters accumulated so far.
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        self.fast_stats
+    }
+
+    /// Iterations executed so far (fast and full steps both count).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
     }
 
     /// Compile-time proof that whole replicas (engine + boxed scheduler)
@@ -460,6 +795,17 @@ impl Engine {
             .iter_mut()
             .filter_map(|s| s.timeline.take())
             .collect();
+        let completion = if complete {
+            Completion::Finished
+        } else if run_end >= SimTime::ZERO + self.config.deadline {
+            Completion::Deadline
+        } else if self.iterations >= self.config.max_iterations {
+            Completion::IterationCap
+        } else {
+            // Cut off externally (e.g. a cluster driver's barrier
+            // deadline) before any engine-side limit tripped.
+            Completion::Deadline
+        };
         SimOutcome {
             report,
             records,
@@ -470,6 +816,7 @@ impl Engine {
             scheduler: self.scheduler.name().to_string(),
             sim_time: run_end.saturating_since(SimTime::ZERO),
             complete,
+            completion,
             iterations: self.iterations,
         }
     }

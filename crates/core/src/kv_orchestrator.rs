@@ -13,15 +13,27 @@ use crate::state::{EngineState, Phase};
 
 /// Advances the transfer engine to `to` and applies every completion to
 /// the request table: finished evictions park requests on the CPU,
-/// finished loads rejoin the decode batch.
-pub(crate) fn apply_transfers(st: &mut EngineState, kv: &mut KvManager, to: SimTime) {
-    let events = kv.advance_to(to);
-    for event in events {
+/// finished loads rejoin the decode batch. Each phase flip is journaled
+/// in [`EngineState::transfer_flips`] — completions are the mechanical
+/// tail of an already-counted decision, not decision-epoch events, and
+/// the plan-horizon fast path mirrors the flips into its retained
+/// context instead of tearing the horizon down.
+/// `events` is a caller-retained scratch buffer (cleared and refilled
+/// here) so the per-step path reuses one allocation across calls.
+pub(crate) fn apply_transfers(
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    to: SimTime,
+    events: &mut Vec<KvEvent>,
+) {
+    kv.advance_into(to, events);
+    for &event in events.iter() {
         match event {
             KvEvent::EvictDone { req, .. } => {
                 let s = st.state_mut(req);
                 if s.phase == Phase::Evicting {
                     s.phase = Phase::OnCpu;
+                    st.transfer_flips.push(req);
                 }
             }
             KvEvent::LoadDone { req, .. } => {
@@ -29,6 +41,7 @@ pub(crate) fn apply_transfers(st: &mut EngineState, kv: &mut KvManager, to: SimT
                 if s.phase == Phase::Loading {
                     s.phase = Phase::Running;
                     st.push_running(req);
+                    st.transfer_flips.push(req);
                 }
             }
         }
@@ -39,6 +52,14 @@ pub(crate) fn apply_transfers(st: &mut EngineState, kv: &mut KvManager, to: SimT
 /// background sync, with flush priorities tracking each decode member's
 /// buffer occupancy (fuller buffers flush first — their owners are the
 /// likeliest preemption victims).
+///
+/// Priorities are re-priced with one pass over the pending write queue
+/// (looking each queued request up in the id-sorted batch) rather than
+/// one queue scan per batch member — same updates, O(queue·log batch)
+/// instead of O(batch·queue). Skipping the buffer advance for members
+/// with nothing queued is invisible: a reader's time-advance is Markov
+/// in `t` (stalls anchor to the scheduled read instant, not the call
+/// instant), so the next advance produces the same state either way.
 pub(crate) fn pump_write_through(
     st: &mut EngineState,
     kv: &mut KvManager,
@@ -46,10 +67,13 @@ pub(crate) fn pump_write_through(
     now: SimTime,
     window: SimDuration,
 ) {
-    for &id in decode {
-        let buffered = st.state_mut(id).buffer.buffered(now);
-        kv.set_write_priority(id, buffered as f64);
-    }
+    debug_assert!(decode.is_sorted());
+    kv.retune_write_priorities(|req| {
+        decode
+            .binary_search(&req)
+            .ok()
+            .map(|_| st.state_mut(req).buffer.buffered(now) as f64)
+    });
     kv.pump_writes(now, window);
 }
 

@@ -42,7 +42,7 @@ pub mod profiler;
 pub mod state;
 
 pub use config::EngineConfig;
-pub use engine::{Engine, StepOutcome};
+pub use engine::{Completion, Engine, FastPathStats, StepOutcome};
 pub use outcome::SimOutcome;
 pub use state::EngineLoad;
 

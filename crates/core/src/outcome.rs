@@ -3,6 +3,8 @@
 use tokenflow_metrics::{RequestMetrics, RunReport, TimeSeries, TokenTimeline};
 use tokenflow_sim::SimDuration;
 
+use crate::engine::Completion;
+
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
@@ -27,6 +29,8 @@ pub struct SimOutcome {
     /// Whether every request ran to completion (false when the safety
     /// deadline cut the run short).
     pub complete: bool,
+    /// *Why* the run stopped: finished, deadline, or iteration cap.
+    pub completion: Completion,
     /// Total engine iterations executed.
     pub iterations: u64,
 }

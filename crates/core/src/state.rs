@@ -116,6 +116,30 @@ pub(crate) struct EngineState {
     /// every [`Phase::Prefilling`] one. Maintained incrementally by the
     /// admission and delivery stages so load snapshots stay O(1).
     pub prefill_backlog_tokens: u64,
+    /// Monotone counter of *decision* events: anything that changes a
+    /// scheduler-visible request phase by an actual scheduling or
+    /// delivery decision (arrival ingest, admission, preemption,
+    /// resume, prefill completion, request finish) bumps it. A plan
+    /// horizon certified by the scheduler is valid only while this
+    /// counter matches its issue-time snapshot — the engine's fast path
+    /// compares it per step and falls back to the full pipeline on any
+    /// mismatch.
+    ///
+    /// KV transfer completions are deliberately *not* epoch events:
+    /// they are the mechanical tail of a decision already counted (the
+    /// preempt or resume that started the transfer), and horizon
+    /// certificates are required to survive them (see
+    /// `Scheduler::plan_horizon`). They are journaled in
+    /// [`EngineState::transfer_flips`] instead, so the fast path can
+    /// mirror the phase flips into its retained context.
+    pub decision_epoch: u64,
+    /// Requests whose phase was flipped by a KV transfer completion
+    /// (`Evicting → OnCpu` or `Loading → Running`) since the fast path
+    /// last reconciled its retained context. Drained by the fast path's
+    /// entry check each step; cleared wholesale by the full pipeline,
+    /// whose context rebuild starts from true phases anyway. The buffer
+    /// is retained across steps, so steady-state pushes never allocate.
+    pub transfer_flips: Vec<RequestId>,
 }
 
 impl EngineState {
@@ -173,8 +197,8 @@ impl EngineState {
     /// Adds a request to the decode batch, preserving the sorted order the
     /// batch-composition stage relies on for determinism.
     pub(crate) fn push_running(&mut self, id: RequestId) {
-        self.running.push(id);
-        self.running.sort_unstable();
+        let at = self.running.partition_point(|&r| r < id);
+        self.running.insert(at, id);
     }
 
     /// Removes a request from the decode batch (no-op when absent).

@@ -79,6 +79,7 @@ fn steady_state_step_allocates_nothing() {
 
     // Measured window: five hundred steady decode steps, zero allocations.
     let before = ALLOCS.load(Ordering::Relaxed);
+    let fast_before = engine.fast_path_stats().fast_steps;
     for _ in 0..500 {
         engine.step_into(&mut out);
         assert!(
@@ -90,6 +91,16 @@ fn steady_state_step_allocates_nothing() {
     assert_eq!(
         allocs, 0,
         "steady-state steps must not allocate (got {allocs} allocations over 500 steps)"
+    );
+    // The zero-alloc claim must cover the plan-horizon fast path, not
+    // just full passes: the quiescent window ought to run almost
+    // entirely on fast steps (which skip context rebuild, plan, and
+    // compose outright). A window that never took one would prove the
+    // wrong thing.
+    let fast_steps = engine.fast_path_stats().fast_steps - fast_before;
+    assert!(
+        fast_steps >= 450,
+        "measured window should be dominated by fast-path steps (got {fast_steps}/500)"
     );
     // The window really did deliver work (one token per member per step).
     assert_eq!(out.delivered.len(), 8);

@@ -31,7 +31,7 @@ fn spec(arrival_ms: u64, prompt: u64, output: u64, rate: f64) -> RequestSpec {
 fn single_request_completes() {
     let mut e = Engine::new(config(), FcfsScheduler::new());
     e.submit(spec(0, 128, 50, 20.0));
-    assert!(e.run_to_completion());
+    assert!(e.run_to_completion().is_finished());
     let out = e.into_outcome();
     assert_eq!(out.report.completed, 1);
     assert_eq!(out.records[0].generated, 50);
@@ -76,7 +76,7 @@ fn burst_creates_queueing_under_fcfs() {
     for _ in 0..128 {
         e.submit(spec(0, 512, 256, 20.0));
     }
-    assert!(e.run_to_completion());
+    assert!(e.run_to_completion().is_finished());
     let out = e.into_outcome();
     assert_eq!(out.report.completed, 128);
     // Later requests queue: P99 TTFT spreads well past P50 and far
@@ -105,7 +105,7 @@ fn all_schedulers_complete_same_workload() {
         for i in 0..12 {
             e.submit(spec(i * 50, 128, 64, 25.0));
         }
-        assert!(e.run_to_completion(), "{name} did not finish");
+        assert!(e.run_to_completion().is_finished(), "{name} did not finish");
         let out = e.into_outcome();
         assert_eq!(out.report.completed, 12, "{name} completed");
         for r in &out.records {
@@ -182,7 +182,7 @@ fn memory_pressure_causes_queueing_under_fcfs() {
     for _ in 0..8 {
         e.submit(spec(0, 512, 512, 20.0));
     }
-    assert!(e.run_to_completion());
+    assert!(e.run_to_completion().is_finished());
     let out = e.into_outcome();
     assert_eq!(out.report.completed, 8);
     assert_eq!(
@@ -204,7 +204,7 @@ fn tokenflow_survives_memory_pressure_via_offload() {
     for _ in 0..8 {
         e.submit(spec(0, 512, 512, 20.0));
     }
-    assert!(e.run_to_completion());
+    assert!(e.run_to_completion().is_finished());
     let out = e.into_outcome();
     assert_eq!(out.report.completed, 8);
 }
@@ -246,7 +246,7 @@ fn load_snapshot_tracks_lifecycle() {
     assert_eq!(queued.submitted, 6);
     assert_eq!(queued.live, 6);
     assert!(queued.rate_sum > 119.0 && queued.rate_sum < 121.0);
-    assert!(e.run_to_completion());
+    assert!(e.run_to_completion().is_finished());
     let drained = e.load_snapshot();
     assert_eq!(drained.live, 0);
     assert_eq!(drained.running, 0);

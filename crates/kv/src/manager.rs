@@ -26,9 +26,9 @@ use std::collections::VecDeque;
 
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
-use crate::pcie::{Direction, PcieEngine, TransferTag};
+use crate::pcie::{Direction, PcieEngine, TransferCompletion, TransferTag};
 use crate::pool::{tokens_to_blocks, BlockPool};
-use crate::write_queue::WriteQueue;
+use crate::write_queue::{WriteChunk, WriteQueue};
 
 /// Where a request's KV cache currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,6 +225,17 @@ pub struct KvManager {
     loading_order: VecDeque<RequestId>,
     /// Count of requests currently in `Evicting` (for overlap gating).
     evicting_count: usize,
+    /// Retained completion buffer for [`KvManager::advance_to`] — the
+    /// engine calls it at least twice per step, so the steady state
+    /// reuses one allocation instead of paying two per call.
+    completion_scratch: Vec<TransferCompletion>,
+    /// Retained chunk buffer for [`KvManager::pump_writes`], same idea.
+    chunk_scratch: Vec<WriteChunk>,
+    /// Number of requests in `Loading` residency. Maintained separately
+    /// from `loading_order` because the queue holds only loads with
+    /// chunks still to enqueue, while this counts every in-flight load
+    /// (the router-facing [`KvManager::loading_requests`] figure).
+    loading_count: usize,
 }
 
 impl KvManager {
@@ -247,6 +258,9 @@ impl KvManager {
             stale: Vec::new(),
             loading_order: VecDeque::new(),
             evicting_count: 0,
+            completion_scratch: Vec::new(),
+            chunk_scratch: Vec::new(),
+            loading_count: 0,
             config,
         }
     }
@@ -371,13 +385,21 @@ impl KvManager {
     /// Requests currently mid-load (KV returning to the GPU), including
     /// loads waiting for GPU space to enqueue their first chunk.
     pub fn loading_requests(&self) -> usize {
-        self.loading_order.len()
+        self.loading_count
     }
 
     /// Updates the background-flush priority for `req` (call with the
     /// request's current buffer occupancy; larger buffers flush first).
     pub fn set_write_priority(&mut self, req: RequestId, priority: f64) {
         self.write_queue.set_priority(req, priority);
+    }
+
+    /// Bulk write-priority update: one pass over the pending write queue,
+    /// asking `f` for each queued request's new priority (`None` = keep).
+    /// Equivalent to calling [`KvManager::set_write_priority`] for every
+    /// request `f` prices, without the per-request queue scan.
+    pub fn retune_write_priorities<F: FnMut(RequestId) -> Option<f64>>(&mut self, f: F) {
+        self.write_queue.retune(f);
     }
 
     fn set_gpu_hold(&mut self, req: RequestId, new_tokens: u64) -> Result<(), KvError> {
@@ -530,6 +552,7 @@ impl KvManager {
         s.load_enqueued = 0;
         s.load_done = 0;
         self.loading_order.push_back(req);
+        self.loading_count += 1;
         self.pump_loads(now);
         Ok(())
     }
@@ -546,6 +569,9 @@ impl KvManager {
         };
         if s.residency() == Residency::Evicting {
             self.evicting_count -= 1;
+        }
+        if s.residency() == Residency::Loading {
+            self.loading_count -= 1;
         }
         let idx = req.0 as usize;
         if self.stale.len() <= idx {
@@ -571,10 +597,11 @@ impl KvManager {
         if budget_tokens == 0 {
             return;
         }
-        let chunks = self
-            .write_queue
-            .pull(budget_tokens, self.config.chunk_tokens);
-        for chunk in chunks {
+        let mut chunks = std::mem::take(&mut self.chunk_scratch);
+        chunks.clear();
+        self.write_queue
+            .pull_into(budget_tokens, self.config.chunk_tokens, &mut chunks);
+        for chunk in chunks.drain(..) {
             let Some(s) = self.req_state(chunk.req) else {
                 continue;
             };
@@ -596,6 +623,7 @@ impl KvManager {
             let s = self.req_state_mut(chunk.req).expect("request state");
             s.wt_inflight += chunk.tokens;
         }
+        self.chunk_scratch = chunks;
     }
 
     fn pump_loads(&mut self, now: SimTime) {
@@ -608,12 +636,21 @@ impl KvManager {
         {
             return;
         }
-        let order: Vec<RequestId> = self.loading_order.iter().copied().collect();
-        for req in order {
+        // The queue holds only loads with chunks still to enqueue, so the
+        // walk is O(work done): a fully-wired load pops immediately (its
+        // completion needs no further pumping), a stale entry (dropped
+        // mid-load) pops on sight, and a blocked head parks the queue
+        // until GPU space frees. In the steady state — every pending load
+        // on the wire, waiting for completions — this is an O(1) empty
+        // check, which matters because the engine pumps at least twice
+        // per step.
+        while let Some(&req) = self.loading_order.front() {
             let Some(s) = self.req_state(req) else {
+                self.loading_order.pop_front();
                 continue;
             };
             if s.residency() != Residency::Loading {
+                self.loading_order.pop_front();
                 continue;
             }
             let mut enqueued = s.load_enqueued;
@@ -644,6 +681,7 @@ impl KvManager {
                 // FIFO head-of-line: later loads wait behind this one.
                 break;
             }
+            self.loading_order.pop_front();
         }
     }
 
@@ -651,32 +689,42 @@ impl KvManager {
     /// pumping pending loads into freed space. Returns lifecycle events in
     /// completion order.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<KvEvent> {
-        let completions = self.pcie.advance_to(now);
         let mut events = Vec::new();
-        for c in completions {
+        self.advance_into(now, &mut events);
+        events
+    }
+
+    /// [`KvManager::advance_to`] into a caller-retained event buffer
+    /// (cleared first): the per-step path calls this at least twice per
+    /// iteration and stays allocation-free in the steady state.
+    pub fn advance_into(&mut self, now: SimTime, events: &mut Vec<KvEvent>) {
+        events.clear();
+        let mut completions = std::mem::take(&mut self.completion_scratch);
+        self.pcie.advance_into(now, &mut completions);
+        for c in completions.drain(..) {
             match c.tag {
                 TransferTag::WriteThrough { req, tokens } => {
                     if self.absorb_stale(req, tokens, StaleKind::Wt) {
                         continue;
                     }
-                    self.on_sync_complete(req, tokens, false, c.completed_at, &mut events);
+                    self.on_sync_complete(req, tokens, false, c.completed_at, events);
                 }
                 TransferTag::Evict { req, tokens, .. } => {
                     if self.absorb_stale(req, tokens, StaleKind::Evict) {
                         continue;
                     }
-                    self.on_sync_complete(req, tokens, true, c.completed_at, &mut events);
+                    self.on_sync_complete(req, tokens, true, c.completed_at, events);
                 }
                 TransferTag::Load { req, tokens, .. } => {
                     if self.absorb_stale(req, tokens, StaleKind::Load) {
                         continue;
                     }
-                    self.on_load_complete(req, tokens, c.completed_at, &mut events);
+                    self.on_load_complete(req, tokens, c.completed_at, events);
                 }
             }
         }
+        self.completion_scratch = completions;
         self.pump_loads(now);
-        events
     }
 
     fn absorb_stale(&mut self, req: RequestId, tokens: u64, kind: StaleKind) -> bool {
@@ -742,7 +790,7 @@ impl KvManager {
         s.load_done += tokens;
         if s.load_done == s.total {
             s.set_residency(Residency::Gpu);
-            self.loading_order.retain(|&r| r != req);
+            self.loading_count -= 1;
             events.push(KvEvent::LoadDone { req, at });
         }
     }

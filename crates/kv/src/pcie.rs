@@ -214,6 +214,14 @@ impl PcieEngine {
     /// Advances both streams to `t`, returning completions in time order.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<TransferCompletion> {
         let mut out = Vec::new();
+        self.advance_into(t, &mut out);
+        out
+    }
+
+    /// [`PcieEngine::advance_to`] into a caller-retained buffer (cleared
+    /// first); the per-step path reuses one allocation across calls.
+    pub fn advance_into(&mut self, t: SimTime, out: &mut Vec<TransferCompletion>) {
+        out.clear();
         for dir in [Direction::H2D, Direction::D2H] {
             let stream = self.stream_mut(dir);
             while let Some(&(done, bytes, tag)) = stream.queue.front() {
@@ -231,7 +239,6 @@ impl PcieEngine {
             }
         }
         out.sort_by_key(|c| c.completed_at);
-        out
     }
 
     /// Number of transfers queued (including in flight) in a direction.

@@ -94,6 +94,20 @@ impl WriteQueue {
         }
     }
 
+    /// Re-prices every queued entry in one pass: `f` returns the new
+    /// priority for a request, or `None` to leave it unchanged.
+    ///
+    /// This is the bulk form of [`WriteQueue::set_priority`] for callers
+    /// updating many requests per step — one walk of the queue instead of
+    /// a linear scan per request.
+    pub fn retune<F: FnMut(RequestId) -> Option<f64>>(&mut self, mut f: F) {
+        for item in &mut self.items {
+            if let Some(p) = f(item.req) {
+                item.priority = p;
+            }
+        }
+    }
+
     /// Removes and returns all pending tokens for `req` (used when the
     /// request is preempted — the remainder flushes via the eviction path —
     /// or released).
@@ -116,8 +130,16 @@ impl WriteQueue {
     /// In priority mode the highest-priority request flushes first; ties
     /// break FIFO. Partial pulls leave the remainder queued.
     pub fn pull(&mut self, budget: u64, max_chunk: u64) -> Vec<WriteChunk> {
-        assert!(max_chunk > 0, "max_chunk must be positive");
         let mut out = Vec::new();
+        self.pull_into(budget, max_chunk, &mut out);
+        out
+    }
+
+    /// [`WriteQueue::pull`] into a caller-retained buffer (cleared first),
+    /// for per-step callers that must not allocate in the steady state.
+    pub fn pull_into(&mut self, budget: u64, max_chunk: u64, out: &mut Vec<WriteChunk>) {
+        assert!(max_chunk > 0, "max_chunk must be positive");
+        out.clear();
         let mut remaining = budget;
         while remaining > 0 {
             let idx = match self.next_index() {
@@ -133,7 +155,6 @@ impl WriteQueue {
             out.push(WriteChunk { req, tokens: take });
             remaining -= take;
         }
-        out
     }
 
     fn next_index(&self) -> Option<usize> {

@@ -15,7 +15,7 @@ use tokenflow_cluster::{
 use tokenflow_control::{
     ControlConfig, PredictivePolicy, ReactivePolicy, ScalePolicy, ScriptedPolicy,
 };
-use tokenflow_core::{run_simulation_boxed, EngineConfig};
+use tokenflow_core::{run_simulation_boxed, Completion, EngineConfig};
 use tokenflow_metrics::RunReport;
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sched::{
@@ -305,6 +305,7 @@ impl EngineSpec {
             );
         config.max_prefill_tokens = self.max_prefill_tokens;
         config.deadline = SimDuration::from_secs_f64(self.deadline_secs);
+        config.plan_horizon = self.plan_horizon;
         config
     }
 }
@@ -368,6 +369,7 @@ impl Harness {
                     replicas: 1,
                     scale_events: 0,
                     complete: out.complete,
+                    completion: out.completion,
                     report: out.report,
                 }
             }
@@ -393,6 +395,7 @@ impl Harness {
                     replicas: out.replicas.len(),
                     scale_events: 0,
                     complete: out.complete,
+                    completion: completion_of(out.complete),
                     report: out.merged,
                 }
             }
@@ -423,10 +426,23 @@ impl Harness {
                     replicas: out.replicas.len(),
                     scale_events: out.scale_events.len(),
                     complete: out.complete,
+                    completion: completion_of(out.complete),
                     report: out.merged,
                 }
             }
         }
+    }
+}
+
+/// The typed completion for a cluster/autoscaled run: those drivers
+/// advance replicas with `step_until` against the shared deadline, so
+/// an incomplete run means the deadline cut it off (only the single
+/// engine's `run_to_completion` has an iteration cap).
+fn completion_of(complete: bool) -> Completion {
+    if complete {
+        Completion::Finished
+    } else {
+        Completion::Deadline
     }
 }
 
@@ -449,6 +465,8 @@ pub struct RunOutcome {
     pub scale_events: usize,
     /// Whether every request ran to completion.
     pub complete: bool,
+    /// Why the run stopped: finished, deadline, or iteration cap.
+    pub completion: Completion,
     /// The (merged) run report.
     pub report: RunReport,
 }
@@ -475,6 +493,14 @@ impl RunOutcome {
             ("replicas", ni(self.replicas as u64)),
             ("scale_events", ni(self.scale_events as u64)),
             ("complete", Json::Bool(self.complete)),
+            (
+                "completion",
+                s(match self.completion {
+                    Completion::Finished => "finished",
+                    Completion::Deadline => "deadline",
+                    Completion::IterationCap => "iteration-cap",
+                }),
+            ),
             ("digest", s(&format!("{:016x}", self.digest()))),
             (
                 "report",

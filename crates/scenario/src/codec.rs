@@ -888,6 +888,7 @@ fn engine_from_json(v: &Json, path: &str) -> Result<EngineSpec, SpecError> {
             "load_evict_overlap",
             "max_prefill_tokens",
             "deadline_secs",
+            "plan_horizon",
         ],
     )?;
     let d = EngineSpec::default();
@@ -899,6 +900,7 @@ fn engine_from_json(v: &Json, path: &str) -> Result<EngineSpec, SpecError> {
         load_evict_overlap: get_bool(v, path, "load_evict_overlap", d.load_evict_overlap)?,
         max_prefill_tokens: get_u64(v, path, "max_prefill_tokens", d.max_prefill_tokens)?,
         deadline_secs: get_nonneg_f64(v, path, "deadline_secs", d.deadline_secs)?,
+        plan_horizon: get_bool(v, path, "plan_horizon", d.plan_horizon)?,
     };
     if spec.max_batch == 0 {
         return Err(invalid(&format!("{path}.max_batch"), "must be ≥ 1"));
@@ -1262,6 +1264,7 @@ fn engine_to_json(spec: &EngineSpec) -> Json {
         ("load_evict_overlap", Json::Bool(spec.load_evict_overlap)),
         ("max_prefill_tokens", ni(spec.max_prefill_tokens)),
         ("deadline_secs", n(spec.deadline_secs)),
+        ("plan_horizon", Json::Bool(spec.plan_horizon)),
     ])
 }
 

@@ -544,6 +544,11 @@ pub struct EngineSpec {
     pub max_prefill_tokens: u64,
     /// Simulation safety deadline, seconds.
     pub deadline_secs: f64,
+    /// Honor scheduler plan horizons (the engine's quiescent-step fast
+    /// path). `false` forces the full pipeline every step; results are
+    /// byte-identical either way — the knob exists for differential
+    /// testing and debugging.
+    pub plan_horizon: bool,
 }
 
 impl Default for EngineSpec {
@@ -556,6 +561,7 @@ impl Default for EngineSpec {
             load_evict_overlap: true,
             max_prefill_tokens: 8_192,
             deadline_secs: (4 * 3_600) as f64,
+            plan_horizon: true,
         }
     }
 }

@@ -275,6 +275,7 @@ fn arb_engine() -> impl Strategy<Value = EngineSpec> {
                 load_evict_overlap: overlap == 1,
                 max_prefill_tokens,
                 deadline_secs,
+                plan_horizon: (max_batch + offload) % 2 == 0,
             },
         )
 }

@@ -16,9 +16,13 @@
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
 use crate::api::{
-    Action, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan, Scheduler,
+    Action, PlanHorizon, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan,
+    Scheduler,
 };
-use crate::util::{admission_cost, fcfs_admissions, largest_buffer_running, AdmissionCosting};
+use crate::util::{
+    admission_cost, fcfs_admissions, largest_buffer_running, quiescent_across_transfers,
+    AdmissionCosting,
+};
 
 /// QoE-aware preemptive scheduling in the style of Andes.
 #[derive(Debug, Clone)]
@@ -196,6 +200,24 @@ impl Scheduler for AndesScheduler {
         SchedPlan { actions }
     }
 
+    /// Between re-rankings the only decision is the FCFS admission
+    /// sweep, so its quiescence certificate holds until the next full
+    /// pass comes due. A due pass always mutates `last_schedule` (even
+    /// when it emits nothing), so no horizon exists before the first
+    /// pass has anchored the interval.
+    fn plan_horizon(&self, ctx: &SchedContext) -> Option<PlanHorizon> {
+        let last = self.last_schedule?;
+        if !quiescent_across_transfers(ctx) {
+            return None;
+        }
+        let valid_until = last + self.interval;
+        (ctx.now < valid_until).then_some(PlanHorizon {
+            valid_until,
+            // Andes never gates decode, so the batch replays verbatim.
+            gates_static: true,
+        })
+    }
+
     fn prefill_policy(&self) -> PrefillPolicy {
         PrefillPolicy::Full
     }
@@ -230,6 +252,7 @@ mod tests {
             load_secs: 0.0,
             reserved_tokens: 0,
             elastic: false,
+            inbound: false,
         }
     }
 
@@ -321,5 +344,34 @@ mod tests {
     fn emergency_mode_is_discard() {
         let s = AndesScheduler::new();
         assert_eq!(s.emergency_preempt_mode(), PreemptMode::Discard);
+    }
+
+    #[test]
+    fn no_horizon_before_first_pass() {
+        let s = AndesScheduler::new();
+        let c = ctx(vec![view(0, ReqPhase::Running)], 10_000, 20_000);
+        assert_eq!(s.plan_horizon(&c), None);
+    }
+
+    #[test]
+    fn horizon_runs_until_next_reranking() {
+        let mut s = AndesScheduler::new();
+        let c = ctx(vec![view(0, ReqPhase::Running)], 10_000, 20_000);
+        let _ = s.plan(&c); // full pass anchors the interval at now = 100 s
+        let h = s.plan_horizon(&c).expect("quiescent: horizon expected");
+        assert_eq!(h.valid_until, SimTime::from_secs(100) + s.interval);
+        assert!(h.gates_static);
+    }
+
+    #[test]
+    fn no_horizon_with_pending_admission() {
+        let mut s = AndesScheduler::new();
+        let c = ctx(
+            vec![view(0, ReqPhase::Running), view(1, ReqPhase::WaitingNew)],
+            10_000,
+            20_000,
+        );
+        let _ = s.plan(&c);
+        assert_eq!(s.plan_horizon(&c), None);
     }
 }

@@ -55,6 +55,16 @@ pub struct ReqView {
     /// reader to protect — yield first under load, accelerate when idle
     /// (paper §8).
     pub elastic: bool,
+    /// Transfer direction for [`ReqPhase::Transitioning`] requests: `true`
+    /// when the request is headed *into* the decode batch (prefilling, or
+    /// loading KV back onto the GPU), `false` when it is on its way out
+    /// (evicting to host). Always `false` outside `Transitioning`.
+    ///
+    /// Horizon certificates need this distinction: an inbound transfer
+    /// completes into `Running` (it keeps occupying its batch slot), while
+    /// an outbound one completes into `WaitingCpu` (its slot frees). See
+    /// [`crate::util::quiescent_across_transfers`].
+    pub inbound: bool,
 }
 
 /// Read-only system state handed to [`Scheduler::plan`] each iteration.
@@ -145,6 +155,53 @@ impl SchedContext {
         self.phase_counts[phase_index(phase)]
     }
 
+    /// Mutable view of one request, by binary search (same ordering
+    /// contract as [`SchedContext::view_of`]).
+    ///
+    /// This exists for the engine's plan-horizon fast path, which
+    /// refreshes a member's gate-read fields in place between full
+    /// context rebuilds. Callers that change a view's `phase` must call
+    /// [`SchedContext::recount_phases`] afterwards or the cached counts
+    /// go stale.
+    pub fn view_mut_of(&mut self, id: RequestId) -> Option<&mut ReqView> {
+        self.requests
+            .binary_search_by(|r| r.id.cmp(&id))
+            .ok()
+            .map(|i| &mut self.requests[i])
+    }
+
+    /// Moves the context's clock without rebuilding anything else — the
+    /// plan-horizon fast path advances retained contexts step by step.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Re-phases one request's view in place, keeping the cached phase
+    /// counts consistent. Returns `false` (and changes nothing) when the
+    /// request has no view here.
+    ///
+    /// This exists for the engine's plan-horizon fast path: a KV
+    /// transfer completing inside a horizon flips a request
+    /// `Transitioning → Running` (load done) or `Transitioning →
+    /// WaitingCpu` (evict done), and the retained context must mirror
+    /// the flip before gates read it again.
+    pub fn update_phase(&mut self, id: RequestId, phase: ReqPhase) -> bool {
+        let Ok(i) = self.requests.binary_search_by(|r| r.id.cmp(&id)) else {
+            return false;
+        };
+        let old = self.requests[i].phase;
+        if old != phase {
+            self.phase_counts[phase_index(old)] -= 1;
+            self.phase_counts[phase_index(phase)] += 1;
+            self.requests[i].phase = phase;
+            // Direction is a Transitioning-only attribute.
+            if phase != ReqPhase::Transitioning {
+                self.requests[i].inbound = false;
+            }
+        }
+        true
+    }
+
     /// Recomputes the cached per-phase counts from `requests`. Call after
     /// mutating the request list in place; the builder and the engine's
     /// context rebuild do this for you.
@@ -213,6 +270,55 @@ impl SchedPlan {
     }
 }
 
+/// A scheduler's certificate that its decision is invariant for a while.
+///
+/// Returned by [`Scheduler::plan_horizon`] *after* a plan has been
+/// applied: it promises that, starting from the context it was asked
+/// about, every [`Scheduler::plan`] call before `valid_until` would
+/// return an empty plan **and leave the scheduler's internal state
+/// untouched** — provided none of the engine's horizon-invalidating
+/// events fire first (the engine tracks those with a decision-epoch
+/// counter: arrivals, admissions, preemptions, resumes, prefill
+/// progress, request completions, memory-fit interventions).
+///
+/// KV transfers *already in flight* when the horizon is issued are NOT
+/// epoch events: the certificate must stay valid across their
+/// completions, each of which flips one request `Transitioning →
+/// Running` (load done) or `Transitioning → WaitingCpu` (evict done)
+/// without any scheduler decision. The engine mirrors every flip into
+/// the retained context (phases and counts, via
+/// [`SchedContext::update_phase`]) and recomposes the batch before the
+/// next certified step, so gates always read true phases — but the
+/// *plan-is-a-no-op* promise has to survive the flips on its own; see
+/// [`quiescent_across_transfers`](crate::util::quiescent_across_transfers)
+/// for the standard admission-side argument. (New transfers cannot
+/// start inside a horizon: starting one takes a plan action or an
+/// emergency preemption, both epoch-tracked.)
+///
+/// `gates_static` additionally certifies that every
+/// [`Scheduler::decode_gate`] answer is constant over the horizon, so the
+/// engine may replay the retained iteration batch verbatim. When it is
+/// `false`, gate answers may flip as client buffers drain, but they are
+/// certified to depend only on the per-request *gate-read fields* —
+/// `started`, `elastic`, `prompt_tokens`, `context_tokens`,
+/// `remaining_tokens`, `buffered_tokens`, `buffered_secs`, `stalled` —
+/// plus the context's phase counts; the engine refreshes exactly those
+/// fields for running members and recomposes the batch, still skipping
+/// the full context rebuild and the plan call.
+///
+/// Horizons are allowed to be conservative (shorter than the truth —
+/// the engine just falls back to the full pipeline sooner); they must
+/// never be optimistic, or the fast path would change behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanHorizon {
+    /// First instant at which `plan` may act again. Steps whose start
+    /// time is `>= valid_until` take the full pipeline.
+    pub valid_until: SimTime,
+    /// True when every decode-gate answer is also constant over the
+    /// horizon, so the retained batch can be replayed without refresh.
+    pub gates_static: bool,
+}
+
 /// How prefill work is batched into iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefillPolicy {
@@ -240,6 +346,22 @@ pub trait Scheduler: Send {
 
     /// Produces this iteration's plan.
     fn plan(&mut self, ctx: &SchedContext) -> SchedPlan;
+
+    /// Certifies, after this iteration's plan has been applied and the
+    /// batch composed against `ctx`, how long the decision stays valid
+    /// (see [`PlanHorizon`]). `None` — the default — means "no
+    /// certificate": the engine runs the full pipeline every step.
+    ///
+    /// Implementations must be *conservative*: the engine skips its
+    /// context rebuild and the `plan` call inside the horizon, so an
+    /// optimistic horizon changes behavior. A policy should only return
+    /// `Some` when it can prove from `ctx` alone that `plan` would
+    /// no-op (and not mutate scheduler state) until `valid_until`,
+    /// absent the engine's epoch-tracked events.
+    fn plan_horizon(&self, ctx: &SchedContext) -> Option<PlanHorizon> {
+        let _ = ctx;
+        None
+    }
 
     /// How the engine should batch prefill work.
     fn prefill_policy(&self) -> PrefillPolicy {
@@ -281,6 +403,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn plan(&mut self, ctx: &SchedContext) -> SchedPlan {
         (**self).plan(ctx)
+    }
+
+    fn plan_horizon(&self, ctx: &SchedContext) -> Option<PlanHorizon> {
+        (**self).plan_horizon(ctx)
     }
 
     fn prefill_policy(&self) -> PrefillPolicy {
@@ -420,6 +546,7 @@ mod tests {
             load_secs: 0.0,
             reserved_tokens: 0,
             elastic: false,
+            inbound: false,
         }
     }
 

@@ -6,8 +6,10 @@
 //! requests during prefill spikes at a small TTFT cost — the second baseline
 //! of the paper's evaluation ("SGLang (chunked)").
 
-use crate::api::{PrefillPolicy, SchedContext, SchedPlan, Scheduler};
-use crate::util::{fcfs_admissions, AdmissionCosting};
+use tokenflow_sim::SimTime;
+
+use crate::api::{PlanHorizon, PrefillPolicy, SchedContext, SchedPlan, Scheduler};
+use crate::util::{fcfs_admissions, quiescent_across_transfers, AdmissionCosting};
 
 /// SGLang FCFS scheduling with chunked prefill.
 #[derive(Debug, Clone)]
@@ -49,6 +51,17 @@ impl Scheduler for ChunkedPrefillScheduler {
         }
     }
 
+    /// Same certificate as [`FcfsScheduler`](crate::FcfsScheduler):
+    /// admission is the only decision, so a batch full of running
+    /// requests (or an empty waiting set with no transfer in flight)
+    /// makes `plan` a no-op until the counts change.
+    fn plan_horizon(&self, ctx: &SchedContext) -> Option<PlanHorizon> {
+        quiescent_across_transfers(ctx).then_some(PlanHorizon {
+            valid_until: SimTime::MAX,
+            gates_static: true,
+        })
+    }
+
     fn prefill_policy(&self) -> PrefillPolicy {
         PrefillPolicy::Chunked(self.chunk)
     }
@@ -79,5 +92,49 @@ mod tests {
     #[test]
     fn name_matches_paper_label() {
         assert_eq!(ChunkedPrefillScheduler::new().name(), "SGLang (chunked)");
+    }
+
+    #[test]
+    fn horizon_matches_fcfs_certificate() {
+        use crate::api::{ReqPhase, ReqView, SchedContextBuilder};
+        use tokenflow_sim::RequestId;
+
+        let running = ReqView {
+            id: RequestId(0),
+            phase: ReqPhase::Running,
+            arrival: SimTime::ZERO,
+            rate: 20.0,
+            prompt_tokens: 100,
+            context_tokens: 100,
+            remaining_tokens: 200,
+            buffered_tokens: 0,
+            buffered_secs: 0.0,
+            stalled: false,
+            started: true,
+            evict_secs: 0.0,
+            load_secs: 0.0,
+            reserved_tokens: 0,
+            elastic: false,
+            inbound: false,
+        };
+        let mut waiting = running;
+        waiting.id = RequestId(1);
+        waiting.phase = ReqPhase::WaitingNew;
+        let build = |reqs: Vec<ReqView>| {
+            SchedContextBuilder::new(SimTime::ZERO)
+                .requests(reqs)
+                .memory(10_000, 20_000)
+                .profile(1e-4, 2_000.0)
+                .link(25e9, 131_072)
+                .max_batch(64)
+                .build()
+        };
+        let s = ChunkedPrefillScheduler::new();
+        let quiet = build(vec![running]);
+        let h = s.plan_horizon(&quiet).expect("quiescent: horizon expected");
+        assert_eq!(h.valid_until, SimTime::MAX);
+        assert!(h.gates_static);
+        let busy = build(vec![running, waiting]);
+        assert_eq!(s.plan_horizon(&busy), None);
     }
 }

@@ -8,8 +8,10 @@
 //! queued requests starve on TTFT while running requests generate far
 //! beyond their readers' consumption rate.
 
-use crate::api::{PrefillPolicy, SchedContext, SchedPlan, Scheduler};
-use crate::util::{fcfs_admissions, AdmissionCosting};
+use tokenflow_sim::SimTime;
+
+use crate::api::{PlanHorizon, PrefillPolicy, SchedContext, SchedPlan, Scheduler};
+use crate::util::{fcfs_admissions, quiescent_across_transfers, AdmissionCosting};
 
 /// SGLang-style conservative FCFS scheduling.
 ///
@@ -65,6 +67,19 @@ impl Scheduler for FcfsScheduler {
         }
     }
 
+    /// FCFS is stateless and time-free: while every batch slot holds a
+    /// *running* request (or nobody waits and no transfer is in
+    /// flight), `plan` is a provable no-op until some epoch-tracked
+    /// event changes the phase counts — an unbounded horizon that also
+    /// survives in-flight transfer completions. The default gate never
+    /// paces, so the batch replays.
+    fn plan_horizon(&self, ctx: &SchedContext) -> Option<PlanHorizon> {
+        quiescent_across_transfers(ctx).then_some(PlanHorizon {
+            valid_until: SimTime::MAX,
+            gates_static: true,
+        })
+    }
+
     fn prefill_policy(&self) -> PrefillPolicy {
         PrefillPolicy::Full
     }
@@ -93,6 +108,7 @@ mod tests {
             load_secs: 0.0,
             reserved_tokens: 0,
             elastic: false,
+            inbound: false,
         }
     }
 
@@ -154,5 +170,27 @@ mod tests {
     #[test]
     fn uses_full_prefill_policy() {
         assert_eq!(FcfsScheduler::new().prefill_policy(), PrefillPolicy::Full);
+    }
+
+    #[test]
+    fn unbounded_horizon_when_nobody_waits() {
+        let s = FcfsScheduler::new();
+        let c = ctx(vec![view(0, ReqPhase::Running)], 10_000);
+        let h = s.plan_horizon(&c).expect("quiescent: horizon expected");
+        assert_eq!(h.valid_until, SimTime::MAX);
+        assert!(h.gates_static);
+    }
+
+    #[test]
+    fn no_horizon_while_waiting_and_slots_free() {
+        let s = FcfsScheduler::new();
+        // Even with zero free memory: conservative budgets can grow as
+        // running requests deliver, so a pending admission blocks the
+        // certificate regardless of the current budget.
+        let c = ctx(
+            vec![view(0, ReqPhase::Running), view(1, ReqPhase::WaitingNew)],
+            0,
+        );
+        assert_eq!(s.plan_horizon(&c), None);
     }
 }

@@ -37,8 +37,8 @@ pub mod util;
 
 pub use andes::AndesScheduler;
 pub use api::{
-    Action, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedContextBuilder,
-    SchedPlan, Scheduler,
+    Action, PlanHorizon, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext,
+    SchedContextBuilder, SchedPlan, Scheduler,
 };
 pub use chunked::ChunkedPrefillScheduler;
 pub use fcfs::FcfsScheduler;

@@ -28,10 +28,12 @@
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
 use crate::api::{
-    Action, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan, Scheduler,
+    Action, PlanHorizon, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan,
+    Scheduler,
 };
 use crate::util::{
-    admission_cost, fcfs_admissions, largest_buffer_running, token_value, AdmissionCosting,
+    admission_cost, fcfs_admissions, largest_buffer_running, quiescent_across_transfers,
+    token_value, AdmissionCosting,
 };
 
 /// Tunable parameters of the TokenFlow policy.
@@ -435,23 +437,26 @@ impl TokenFlowScheduler {
             if self.params.swap_candidates > 0 {
                 sc.unselected.truncate(self.params.swap_candidates);
             }
+            // Find the weakest swappable selected entry. The selection
+            // only changes when a swap succeeds — which ends the round —
+            // so the scan is loop-invariant and runs once per round, not
+            // once per probe.
+            let weakest = sc
+                .selected
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    // Pinned running requests never swap out.
+                    candidates[i].phase != ReqPhase::Running || candidates[i].safe_to_preempt
+                })
+                .min_by(|&a, &b| {
+                    candidates[a]
+                        .priority
+                        .partial_cmp(&candidates[b].priority)
+                        .expect("priorities are finite")
+                });
+            let Some(i) = weakest else { break };
             for &j in &sc.unselected {
-                // Find the weakest swappable selected entry.
-                let weakest = sc
-                    .selected
-                    .iter()
-                    .copied()
-                    .filter(|&i| {
-                        // Pinned running requests never swap out.
-                        candidates[i].phase != ReqPhase::Running || candidates[i].safe_to_preempt
-                    })
-                    .min_by(|&a, &b| {
-                        candidates[a]
-                            .priority
-                            .partial_cmp(&candidates[b].priority)
-                            .expect("priorities are finite")
-                    });
-                let Some(i) = weakest else { break };
                 let gain = candidates[j].priority - candidates[i].priority;
                 let new_used = used - candidates[i].cost + candidates[j].cost;
                 if gain > 1e-12 && new_used <= budget_total {
@@ -550,6 +555,64 @@ impl Scheduler for TokenFlowScheduler {
         self.full_pass(ctx)
     }
 
+    /// `plan` no-ops while `!(due && stressed)` *and* the FCFS sweep of
+    /// the quiet branch provably admits nothing. The horizon is the
+    /// later of two certified instants: `T_due` (the anchored interval
+    /// end — before it, `due` is false) and `T_stress` (before it,
+    /// `stressed` is false). The waiting-count clauses of `stressed`
+    /// are epoch-protected; the buffer clause is bounded by drain
+    /// physics — a reader consumes at most one buffered second per
+    /// simulated second and deliveries only add, so a running buffer
+    /// holding `b ≥ critical` seconds cannot cross the critical
+    /// threshold before `now + (b − critical)`. While any transfer is
+    /// in flight, `T_stress` is clamped to `now`: a load completing
+    /// mid-horizon adds a running reader whose buffer the slack scan
+    /// never saw (and an evict completion creates a `WaitingCpu`
+    /// candidate), so the certificate may not stretch past `T_due` on
+    /// buffer arithmetic alone. Conservative on purpose: a
+    /// shorter-than-true horizon just means an earlier full pipeline
+    /// step.
+    fn plan_horizon(&self, ctx: &SchedContext) -> Option<PlanHorizon> {
+        if !quiescent_across_transfers(ctx) {
+            return None;
+        }
+        let t_due = match self.last_schedule {
+            Some(t) => t + self.params.schedule_interval,
+            // No full pass has anchored the interval yet: due every step.
+            None => ctx.now,
+        };
+        let waiting = ctx.count_phase(ReqPhase::WaitingNew) + ctx.count_phase(ReqPhase::WaitingCpu);
+        let t_stress = if waiting > 0 || ctx.count_phase(ReqPhase::Transitioning) > 0 {
+            // Stressed right now (or one in-flight completion away from
+            // it); only !due keeps the full pass away.
+            ctx.now
+        } else {
+            let mut slack = f64::INFINITY;
+            for r in ctx.in_phase(ReqPhase::Running) {
+                if r.started {
+                    slack = slack.min(r.buffered_secs - self.params.critical_buffer_secs);
+                }
+            }
+            if slack <= 0.0 {
+                ctx.now
+            } else if slack.is_infinite() {
+                SimTime::MAX
+            } else {
+                ctx.now + SimDuration::from_secs_f64(slack)
+            }
+        };
+        let valid_until = t_due.max(t_stress);
+        (ctx.now < valid_until).then_some(PlanHorizon {
+            valid_until,
+            // The pacing gate only flips with buffer levels while a
+            // beneficiary exists; with none, every answer is `true`.
+            gates_static: ctx.count_phase(ReqPhase::WaitingNew)
+                + ctx.count_phase(ReqPhase::WaitingCpu)
+                + ctx.count_phase(ReqPhase::Transitioning)
+                == 0,
+        })
+    }
+
     fn prefill_policy(&self) -> PrefillPolicy {
         PrefillPolicy::Chunked(self.params.prefill_chunk)
     }
@@ -605,6 +668,7 @@ mod tests {
             load_secs: 0.05,
             reserved_tokens: 0,
             elastic: false,
+            inbound: false,
         }
     }
 
@@ -875,5 +939,91 @@ mod tests {
         let b = running_with_buffer(1, 9.0);
         let c = ctx(vec![a, b], 0, 20_000);
         assert_eq!(s.emergency_victim(&c), Some(RequestId(1)));
+    }
+
+    #[test]
+    fn no_horizon_while_admissions_possible() {
+        let mut s = TokenFlowScheduler::new();
+        s.last_schedule = Some(SimTime::from_secs(100));
+        // A waiting request with free slots and memory: the FCFS sweep of
+        // the quiet branch could admit it any step.
+        let c = ctx(
+            vec![running_with_buffer(0, 30.0), view(1, ReqPhase::WaitingNew)],
+            10_000,
+            20_000,
+        );
+        assert_eq!(s.plan_horizon(&c), None);
+    }
+
+    #[test]
+    fn horizon_is_min_slack_past_due_time() {
+        let mut s = TokenFlowScheduler::new();
+        // Full pass long overdue: T_due = 50.5 s < now = 100 s.
+        s.last_schedule = Some(SimTime::from_secs(50));
+        // No waiting work; two running readers with 5 s and 3 s of buffer
+        // above the 1 s critical threshold drain at most 1 s/s, so stress
+        // is impossible before now + 2 s.
+        let c = ctx(
+            vec![running_with_buffer(0, 5.0), running_with_buffer(1, 3.0)],
+            10_000,
+            20_000,
+        );
+        let h = s.plan_horizon(&c).expect("quiescent: horizon expected");
+        assert_eq!(
+            h.valid_until,
+            SimTime::from_secs(100) + SimDuration::from_secs_f64(2.0)
+        );
+        assert!(h.gates_static, "no beneficiaries: gate is constant");
+    }
+
+    #[test]
+    fn horizon_uses_due_time_when_buffer_already_critical() {
+        let mut s = TokenFlowScheduler::new();
+        s.last_schedule = Some(SimTime::from_secs(100));
+        // Buffer below critical: stressed already, so only !due protects
+        // the quiet branch, until last_schedule + interval.
+        let c = ctx(vec![running_with_buffer(0, 0.2)], 10_000, 20_000);
+        let h = s.plan_horizon(&c).expect("not due: horizon expected");
+        assert_eq!(
+            h.valid_until,
+            SimTime::from_secs(100) + s.params.schedule_interval
+        );
+    }
+
+    #[test]
+    fn horizon_expired_when_due_and_stressed() {
+        let mut s = TokenFlowScheduler::new();
+        // Overdue and a critical buffer: the very next plan may run a
+        // full pass, so no horizon exists.
+        s.last_schedule = Some(SimTime::from_secs(50));
+        let c = ctx(vec![running_with_buffer(0, 0.2)], 10_000, 20_000);
+        assert_eq!(s.plan_horizon(&c), None);
+    }
+
+    #[test]
+    fn gates_not_static_with_waiting_beneficiary() {
+        let mut s = TokenFlowScheduler::new();
+        s.last_schedule = Some(SimTime::from_secs(100));
+        // Batch saturated (occupied >= max_batch) keeps the sweep
+        // quiescent even with a waiting request; the waiting request is a
+        // pacing beneficiary, so gate answers may flip with buffer levels.
+        let mut reqs: Vec<ReqView> = (0..64).map(|i| running_with_buffer(i, 30.0)).collect();
+        reqs.push(view(64, ReqPhase::WaitingNew));
+        let c = ctx(reqs, 10_000, 20_000);
+        let h = s.plan_horizon(&c).expect("saturated batch: horizon");
+        assert!(!h.gates_static);
+    }
+
+    #[test]
+    fn unbounded_horizon_when_idle_of_readers() {
+        let mut s = TokenFlowScheduler::new();
+        s.last_schedule = Some(SimTime::from_secs(50));
+        // Nothing waiting and no started reader: stress has no trigger
+        // before some epoch-tracked event, so the horizon is unbounded.
+        let mut r = view(0, ReqPhase::Running);
+        r.started = false;
+        let c = ctx(vec![r], 10_000, 20_000);
+        let h = s.plan_horizon(&c).expect("horizon expected");
+        assert_eq!(h.valid_until, SimTime::MAX);
     }
 }

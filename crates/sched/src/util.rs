@@ -29,6 +29,57 @@ pub enum AdmissionCosting {
     Conservative,
 }
 
+/// True when [`fcfs_admissions`] provably returns an empty plan from the
+/// context's phase counts alone: every batch slot is occupied, or nobody
+/// is waiting. Deliberately **budget-independent** — memory freed by
+/// decode progress could unblock a memory-stalled admission without any
+/// engine-visible event, so a quiescence certificate (and the plan
+/// horizons built on it) may only reason from the counts, which the
+/// engine's decision epoch does protect.
+pub fn fcfs_quiescent(ctx: &SchedContext) -> bool {
+    let occupied = ctx.count_phase(ReqPhase::Running) + ctx.count_phase(ReqPhase::Transitioning);
+    let waiting_total =
+        ctx.count_phase(ReqPhase::WaitingNew) + ctx.count_phase(ReqPhase::WaitingCpu);
+    occupied >= ctx.max_batch as usize || waiting_total == 0
+}
+
+/// True when [`fcfs_admissions`] provably returns an empty plan now
+/// **and keeps doing so across in-flight KV transfer completions** — the
+/// predicate plan horizons must use. A transfer completion flips a
+/// request `Transitioning → Running` (load done) or `Transitioning →
+/// WaitingCpu` (evict done) without any scheduler-visible decision, so a
+/// horizon-grade certificate may not lean on the `Transitioning` count
+/// staying put:
+///
+/// - `running + inbound_transitioning >= max_batch`: the quantity is
+///   *flip-invariant*. An inbound completion (load done, prefill done)
+///   moves a request from the inbound count into the running count —
+///   sum unchanged; an outbound completion (evict done) touches
+///   neither term. The running set itself never shrinks without an
+///   epoch-tracked decision (preemption, finish, shed), and no new
+///   transfer can start inside a horizon (starting one takes a plan
+///   action or an emergency preemption, both epoch-tracked). Since
+///   `occupied = running + transitioning ≥ running + inbound`, every
+///   batch slot stays provably occupied at every instant of the
+///   horizon, however in-flight transfers land.
+/// - `waiting == 0 && transitioning == 0`: nobody to admit and no
+///   transfer in flight whose completion could create a `WaitingCpu`
+///   candidate.
+///
+/// Compared to [`fcfs_quiescent`] (which certifies a single call):
+/// slots held by *outbound* transfers count there but not here,
+/// because an evict completion would free them mid-horizon.
+pub fn quiescent_across_transfers(ctx: &SchedContext) -> bool {
+    let waiting_total =
+        ctx.count_phase(ReqPhase::WaitingNew) + ctx.count_phase(ReqPhase::WaitingCpu);
+    let inbound = ctx
+        .in_phase(ReqPhase::Transitioning)
+        .filter(|r| r.inbound)
+        .count();
+    ctx.count_phase(ReqPhase::Running) + inbound >= ctx.max_batch as usize
+        || (waiting_total == 0 && ctx.count_phase(ReqPhase::Transitioning) == 0)
+}
+
 /// First-come-first-served admission of waiting requests.
 ///
 /// Walks waiting requests in arrival order and admits while GPU memory and
@@ -43,14 +94,14 @@ pub fn fcfs_admissions(
     // This runs on the every-step fast path, so cheap exits come first:
     // with no batch slots (or nobody waiting) the admission loop below
     // could admit nothing regardless of memory — skip the O(live)
-    // budget sums and the waiting-set sort entirely.
-    let occupied = ctx.count_phase(ReqPhase::Running) + ctx.count_phase(ReqPhase::Transitioning);
-    let mut slots = (ctx.max_batch as usize).saturating_sub(occupied);
-    let waiting_total =
-        ctx.count_phase(ReqPhase::WaitingNew) + ctx.count_phase(ReqPhase::WaitingCpu);
-    if slots == 0 || waiting_total == 0 {
+    // budget sums and the waiting-set sort entirely. (`fcfs_quiescent`
+    // is the same predicate; the plan horizons lean on it being exactly
+    // this early exit.)
+    if fcfs_quiescent(ctx) {
         return Vec::new();
     }
+    let occupied = ctx.count_phase(ReqPhase::Running) + ctx.count_phase(ReqPhase::Transitioning);
+    let mut slots = (ctx.max_batch as usize).saturating_sub(occupied);
 
     let mut actions = Vec::new();
     // Free memory minus what admitted-but-unallocated requests will take.
@@ -161,6 +212,7 @@ mod tests {
             load_secs: 0.0,
             reserved_tokens: 0,
             elastic: false,
+            inbound: false,
         }
     }
 

@@ -239,7 +239,7 @@ fn agents_yield_to_interactive_clients() {
         interactive.push(engine.submit(mk_spec(12.0)));
         agents.push(engine.submit_agent(mk_spec(30.0)));
     }
-    assert!(engine.run_to_completion());
+    assert!(engine.run_to_completion().is_finished());
     let outcome = engine.into_outcome();
     assert_eq!(outcome.report.completed, 16);
 
@@ -283,7 +283,7 @@ fn agents_run_at_full_speed_when_idle() {
         output_tokens: 500,
         rate: 10.0, // reference rate only — no reader to pace against
     });
-    assert!(engine.run_to_completion());
+    assert!(engine.run_to_completion().is_finished());
     let outcome = engine.into_outcome();
     let r = &outcome.records[id.0 as usize];
     // An idle system never throttles an agent to its reference rate: the

@@ -213,6 +213,56 @@ fn golden_cluster_per_router_and_executor() {
     assert_digests("cluster", &measured, &CLUSTER_GOLDEN);
 }
 
+/// Differential proof for the plan-horizon fast path (default-on): with
+/// the horizon force-disabled the engine runs every iteration through
+/// the full pipeline, and every digest must still match the pinned
+/// table byte-for-byte — for each scheduler alone and for each router
+/// under both executors. The pinned values were produced with the fast
+/// path on, so passing here proves fastpath-on ≡ fastpath-off across
+/// the whole shipped surface.
+#[test]
+fn golden_differential_fast_path_off() {
+    let w = trace();
+    let off = config().with_plan_horizon(false);
+
+    let engines: Vec<(String, u64)> = ENGINE_GOLDEN
+        .iter()
+        .map(|(which, _)| {
+            let out = run_simulation_boxed(off.clone(), scheduler(which), &w);
+            assert!(out.complete, "{which}: fastpath-off run incomplete");
+            (which.to_string(), engine_digest(&out))
+        })
+        .collect();
+    assert_digests("single-engine fastpath-off", &engines, &ENGINE_GOLDEN);
+
+    let clusters: Vec<(String, u64)> = ROUTERS
+        .iter()
+        .map(|which| {
+            let run = |execution| {
+                let sched = scheduler_spec("tokenflow");
+                run_cluster_with(
+                    off.clone(),
+                    3,
+                    router(which),
+                    move || sched.build_scheduler(),
+                    &w,
+                    execution,
+                )
+            };
+            let seq = run(Execution::Sequential);
+            let par = run(Execution::parallel(4));
+            assert!(seq.complete, "{which}: fastpath-off sequential incomplete");
+            let (ds, dp) = (cluster_digest(&seq), cluster_digest(&par));
+            assert_eq!(
+                ds, dp,
+                "{which}: fastpath-off Parallel(4) diverged from Sequential"
+            );
+            (which.to_string(), ds)
+        })
+        .collect();
+    assert_digests("cluster fastpath-off", &clusters, &CLUSTER_GOLDEN);
+}
+
 const POLICIES: [&str; 3] = ["reactive", "predictive-ewma", "scripted"];
 
 /// Spec-built scale policy, parsed from the spec grammar's JSON forms.
