@@ -5,9 +5,10 @@ use std::collections::VecDeque;
 
 use tokenflow_control::{ControlConfig, ControlPlane, ScaleEvent, ScalePolicy};
 use tokenflow_core::{Engine, EngineConfig, EngineLoad, SimOutcome};
-use tokenflow_metrics::{FleetStats, RequestMetrics, RunReport};
+use tokenflow_metrics::{FleetStats, RequestMetrics, RunReport, RuntimeCounters};
 use tokenflow_sched::Scheduler;
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_trace::{TraceEvent, TraceEventKind, TraceJournal, TraceSink, TraceSource};
 use tokenflow_workload::{RequestSpec, Workload};
 
 use crate::executor::{self, Execution, ExecutorStats};
@@ -50,6 +51,13 @@ pub struct ClusterOutcome {
     pub scale_events: Vec<ScaleEvent>,
     /// Whether every replica ran its share to completion.
     pub complete: bool,
+    /// The merged cluster-wide decision journal, when the run was traced
+    /// ([`EngineConfig::trace`]): every replica's journal with request
+    /// ids rewritten to cluster submission order, interleaved with the
+    /// coordinator's dispatch decisions and the control plane's scale
+    /// decisions on the shared timeline. Per-replica journals (local
+    /// ids) stay available on [`ClusterOutcome::replicas`].
+    pub trace: Option<TraceJournal>,
 }
 
 /// The boxed scheduler factory a cluster keeps so the control plane can
@@ -132,6 +140,13 @@ pub struct ClusterEngine {
     batched_barriers: u64,
     /// Epochs run so far.
     epochs: u64,
+    /// Coordinator-side decision journal: one [`TraceEventKind::Dispatch`]
+    /// per routed request, stamped at the request's arrival instant. A
+    /// no-op sink unless [`EngineConfig::trace`] is set.
+    trace: TraceSink,
+    /// Scratch buffer the router writes a traced dispatch's considered
+    /// scores into; the buffer moves into the emitted event.
+    score_buf: Vec<f64>,
 }
 
 impl ClusterEngine {
@@ -152,7 +167,11 @@ impl ClusterEngine {
     ) -> Self {
         assert!(replicas > 0, "a cluster needs at least one replica");
         let engines: Vec<Engine> = (0..replicas)
-            .map(|_| Engine::from_boxed(config.clone(), scheduler_factory()))
+            .map(|i| {
+                let mut engine = Engine::from_boxed(config.clone(), scheduler_factory());
+                engine.set_trace_source(TraceSource::Replica(i as u32));
+                engine
+            })
             .collect();
         ClusterEngine {
             done: vec![true; engines.len()],
@@ -168,6 +187,12 @@ impl ClusterEngine {
             held_routes: VecDeque::new(),
             batched_barriers: 0,
             epochs: 0,
+            trace: if config.trace {
+                TraceSink::enabled(TraceSource::Coordinator)
+            } else {
+                TraceSink::disabled()
+            },
+            score_buf: Vec::new(),
             config,
         }
     }
@@ -196,7 +221,11 @@ impl ClusterEngine {
         control: ControlConfig,
     ) -> Self {
         self.next_tick = control.control_tick.map(|d| SimTime::ZERO + d);
-        self.plane = Some(ControlPlane::new(policy, control, self.replicas.len()));
+        let mut plane = ControlPlane::new(policy, control, self.replicas.len());
+        if self.config.trace {
+            plane.enable_trace();
+        }
+        self.plane = Some(plane);
         self
     }
 
@@ -298,10 +327,9 @@ impl ClusterEngine {
         self.next_tick = plane.config().control_tick.map(|d| barrier_at + d);
         let target = plane.replica_count();
         while self.replicas.len() < target {
-            self.replicas.push(Engine::from_boxed(
-                self.config.clone(),
-                (self.scheduler_factory)(),
-            ));
+            let mut engine = Engine::from_boxed(self.config.clone(), (self.scheduler_factory)());
+            engine.set_trace_source(TraceSource::Replica(self.replicas.len() as u32));
+            self.replicas.push(engine);
             self.done.push(true);
         }
     }
@@ -330,7 +358,12 @@ impl ClusterEngine {
                 // Routed ahead of its barrier by a batching span that
                 // had to stop before this group (see `extend_span`);
                 // the router's state already reflects the decision.
-                Some(pick) => pick,
+                // Spans only run under load-oblivious routers, whose
+                // traced score vector is empty by contract.
+                Some(pick) => {
+                    self.score_buf.clear();
+                    pick
+                }
                 None => {
                     if cached.is_none() || !oblivious {
                         cached = Some(
@@ -341,7 +374,11 @@ impl ClusterEngine {
                         );
                     }
                     let loads = cached.as_ref().expect("just filled");
-                    self.router.route(&spec, loads)
+                    if self.trace.is_enabled() {
+                        self.router.route_scored(&spec, loads, &mut self.score_buf)
+                    } else {
+                        self.router.route(&spec, loads)
+                    }
                 }
             };
             assert!(pick < active.len(), "router index out of range");
@@ -352,6 +389,21 @@ impl ClusterEngine {
                     .is_none_or(|p| p.phases()[replica].accepts_dispatch()),
                 "dispatch to a non-active replica"
             );
+            if self.trace.is_enabled() {
+                // The journal speaks cluster submission order; the event
+                // time is the arrival instant the barrier serves, so the
+                // journal is invariant to *when* the coordinator ran it.
+                let id = RequestId(self.assignments.len() as u64);
+                let scores = std::mem::take(&mut self.score_buf);
+                self.trace.emit(
+                    spec.arrival,
+                    TraceEventKind::Dispatch {
+                        id,
+                        replica: replica as u32,
+                        scores,
+                    },
+                );
+            }
             let local_id = self.replicas[replica].submit(spec);
             self.assignments.push(Assignment { replica, local_id });
             self.done[replica] = false;
@@ -438,6 +490,21 @@ impl ClusterEngine {
             }
             for pick in picks {
                 let spec = self.pending.pop_front().expect("group counted");
+                if self.trace.is_enabled() {
+                    // Identical to the event `dispatch_due` would emit at
+                    // the real barrier: same arrival stamp, same empty
+                    // score vector (spans require oblivious routers), in
+                    // the same submission order — so journals are
+                    // byte-identical with span batching on or off.
+                    self.trace.emit(
+                        spec.arrival,
+                        TraceEventKind::Dispatch {
+                            id: RequestId(self.assignments.len() as u64),
+                            replica: pick as u32,
+                            scores: Vec::new(),
+                        },
+                    );
+                }
                 let local_id = self.replicas[pick].submit(spec);
                 self.assignments.push(Assignment {
                     replica: pick,
@@ -558,6 +625,15 @@ impl ClusterEngine {
             let loads: Vec<EngineLoad> = self.replicas.iter().map(|e| e.load_snapshot()).collect();
             plane.close(end, &loads);
         }
+        let exec_stats = self.executor_stats();
+        let traced = self.trace.is_enabled();
+        let mut trace_parts: Vec<Vec<TraceEvent>> = Vec::new();
+        if traced {
+            trace_parts.push(self.trace.drain());
+            if let Some(plane) = self.plane.as_mut() {
+                trace_parts.push(plane.take_trace_events());
+            }
+        }
         let router = self.router.name().to_string();
         let policy = self.plane.as_ref().map(|p| p.policy_name().to_string());
         let complete = self.pending.is_empty();
@@ -580,6 +656,39 @@ impl ClusterEngine {
             .max()
             .unwrap_or(SimDuration::ZERO);
         let mut merged = RunReport::from_records(&all_records, duration, &self.config.qos);
+        // Fleet-wide runtime counters: sum the per-replica fast-path
+        // numbers, then fill the coordinator-owned executor counters the
+        // replicas cannot see.
+        merged.runtime = RuntimeCounters::merged(replicas.iter().map(|o| &o.report.runtime));
+        merged.runtime.epochs = exec_stats.epochs;
+        merged.runtime.batched_barriers = exec_stats.batched_barriers;
+        merged.runtime.pool_workers = exec_stats.pool_workers as u64;
+        merged.runtime.pool_submissions = exec_stats.pool_submissions;
+        // Merge the decision journals onto one timeline, rewriting each
+        // replica's dense local request ids to cluster submission order
+        // (the ids the coordinator's dispatch events already speak).
+        let trace = if traced {
+            let mut locals: Vec<Vec<RequestId>> = vec![Vec::new(); replica_total];
+            for (global, a) in self.assignments.iter().enumerate() {
+                debug_assert_eq!(
+                    a.local_id.0 as usize,
+                    locals[a.replica].len(),
+                    "engines assign dense local ids in submission order"
+                );
+                locals[a.replica].push(RequestId(global as u64));
+            }
+            for (r, outcome) in replicas.iter().enumerate() {
+                if let Some(journal) = &outcome.trace {
+                    let mut journal = journal.clone();
+                    let table = &locals[r];
+                    journal.map_ids(|_, id| table[id.0 as usize]);
+                    trace_parts.push(journal.events);
+                }
+            }
+            Some(TraceJournal::merge(trace_parts))
+        } else {
+            None
+        };
         let (fleet, scale_events) = match self.plane {
             Some(plane) => {
                 // Close the billing integral at the cluster's end instant
@@ -603,6 +712,7 @@ impl ClusterEngine {
             fleet,
             scale_events,
             complete,
+            trace,
         }
     }
 }

@@ -52,6 +52,24 @@ pub trait Router: Send {
     fn load_oblivious(&self) -> bool {
         false
     }
+
+    /// [`route`](Router::route), but also reporting the per-replica
+    /// scores the decision considered into `scores` (one entry per
+    /// `loads` entry, lower is better) for trace journals. Policies
+    /// without a numeric score — rotation, lexicographic tie-break
+    /// chains — leave `scores` empty. The pick MUST be identical to what
+    /// [`route`](Router::route) would have returned, and internal state
+    /// must advance identically: tracing a run may never change where
+    /// requests land. The default clears `scores` and delegates.
+    fn route_scored(
+        &mut self,
+        spec: &RequestSpec,
+        loads: &[EngineLoad],
+        scores: &mut Vec<f64>,
+    ) -> usize {
+        scores.clear();
+        self.route(spec, loads)
+    }
 }
 
 /// Boxed routers are routers.
@@ -66,6 +84,15 @@ impl<R: Router + ?Sized> Router for Box<R> {
 
     fn load_oblivious(&self) -> bool {
         (**self).load_oblivious()
+    }
+
+    fn route_scored(
+        &mut self,
+        spec: &RequestSpec,
+        loads: &[EngineLoad],
+        scores: &mut Vec<f64>,
+    ) -> usize {
+        (**self).route_scored(spec, loads, scores)
     }
 }
 
@@ -231,6 +258,19 @@ impl Router for RateAwareRouter {
             .min_by(|(_, a), (_, b)| Self::score(spec, a).total_cmp(&Self::score(spec, b)))
             .map(|(i, _)| i)
             .expect("non-empty replica set")
+    }
+
+    fn route_scored(
+        &mut self,
+        spec: &RequestSpec,
+        loads: &[EngineLoad],
+        scores: &mut Vec<f64>,
+    ) -> usize {
+        scores.clear();
+        scores.extend(loads.iter().map(|l| Self::score(spec, l)));
+        // Delegate for the pick itself so the traced decision is the
+        // routed decision by construction (tie-break order included).
+        self.route(spec, loads)
     }
 }
 

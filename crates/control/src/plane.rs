@@ -25,6 +25,7 @@
 use tokenflow_core::{EngineConfig, EngineLoad};
 use tokenflow_metrics::FleetStats;
 use tokenflow_sim::{SimDuration, SimTime};
+use tokenflow_trace::{TraceEvent, TraceEventKind, TraceSink, TraceSource};
 use tokenflow_workload::RequestSpec;
 
 use crate::lifecycle::{ReplicaPhase, ScaleEvent, ScaleEventKind};
@@ -154,6 +155,11 @@ pub struct ControlPlane {
     last_billed_at: SimTime,
     stats: FleetStats,
     events: Vec<ScaleEvent>,
+    /// Decision-event journal sink (source [`TraceSource::Control`]);
+    /// a no-op unless [`ControlPlane::enable_trace`] was called.
+    trace: TraceSink,
+    /// Retained term buffer for traced policy consultations.
+    trace_terms: Vec<(&'static str, f64)>,
 }
 
 impl ControlPlane {
@@ -196,7 +202,21 @@ impl ControlPlane {
             last_billed_at: SimTime::ZERO,
             stats,
             events: Vec::new(),
+            trace: TraceSink::disabled(),
+            trace_terms: Vec::new(),
         }
+    }
+
+    /// Enables decision tracing: scale decisions (with the policy's term
+    /// values) are journaled under [`TraceSource::Control`].
+    pub fn enable_trace(&mut self) {
+        self.trace = TraceSink::enabled(TraceSource::Control);
+    }
+
+    /// Takes the trace events buffered so far, leaving the sink (and its
+    /// sequence counter) running. Empty when tracing is off.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain()
     }
 
     /// The policy's name.
@@ -297,18 +317,44 @@ impl ControlPlane {
             arrivals,
             gamma: self.config.gamma,
         };
-        let decision = self.policy.decide(&obs);
+        let decision = if self.trace.is_enabled() {
+            let mut terms = std::mem::take(&mut self.trace_terms);
+            let d = self.policy.decide_traced(&obs, &mut terms);
+            self.trace_terms = terms;
+            d
+        } else {
+            self.policy.decide(&obs)
+        };
 
         let in_cooldown = self
             .last_scale_at
             .is_some_and(|t| now.saturating_since(t) < self.config.cooldown);
 
         // 5. Apply, clamped; the cooldown gates only scale-downs.
-        match decision {
-            ScaleDecision::Hold => {}
-            ScaleDecision::ScaleUp(k) => self.scale_up(now, k),
-            ScaleDecision::ScaleDown(k) if !in_cooldown => self.scale_down(now, k, loads),
-            ScaleDecision::ScaleDown(_) => {}
+        let (delta, applied) = match decision {
+            ScaleDecision::Hold => (0, true),
+            ScaleDecision::ScaleUp(k) => {
+                self.scale_up(now, k);
+                (k as i64, true)
+            }
+            ScaleDecision::ScaleDown(k) if !in_cooldown => {
+                self.scale_down(now, k, loads);
+                (-(k as i64), true)
+            }
+            ScaleDecision::ScaleDown(k) => (-(k as i64), false),
+        };
+        // Journal every non-Hold decision — including cooldown-gated
+        // ones, which explain why the fleet did not shrink.
+        if delta != 0 {
+            self.trace.emit(
+                now,
+                TraceEventKind::Scale {
+                    delta,
+                    applied,
+                    active: active_indices.len() as u64,
+                    terms: self.trace_terms.clone(),
+                },
+            );
         }
 
         let active_now = self.count(ReplicaPhase::accepts_dispatch);

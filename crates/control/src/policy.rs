@@ -110,6 +110,19 @@ pub trait ScalePolicy: Send {
     /// then ignores a non-[`ScaleDecision::Hold`] answer but the policy
     /// still observes the traffic).
     fn decide(&mut self, obs: &FleetObservation<'_>) -> ScaleDecision;
+
+    /// [`ScalePolicy::decide`], additionally naming the term values
+    /// behind the decision into `terms` (cleared first) for the trace
+    /// journal. Must return exactly the decision `decide` would — the
+    /// default ignores `terms` and delegates.
+    fn decide_traced(
+        &mut self,
+        obs: &FleetObservation<'_>,
+        terms: &mut Vec<(&'static str, f64)>,
+    ) -> ScaleDecision {
+        terms.clear();
+        self.decide(obs)
+    }
 }
 
 /// Boxed policies are policies.
@@ -120,6 +133,14 @@ impl<P: ScalePolicy + ?Sized> ScalePolicy for Box<P> {
 
     fn decide(&mut self, obs: &FleetObservation<'_>) -> ScaleDecision {
         (**self).decide(obs)
+    }
+
+    fn decide_traced(
+        &mut self,
+        obs: &FleetObservation<'_>,
+        terms: &mut Vec<(&'static str, f64)>,
+    ) -> ScaleDecision {
+        (**self).decide_traced(obs, terms)
     }
 }
 
@@ -172,6 +193,17 @@ impl Default for ReactivePolicy {
 /// (resident KV plus incoming prompts against `kv_watermark` of one
 /// replica's pool). Expressed in replicas, un-ceiled.
 fn pressure_floor(obs: &FleetObservation<'_>, backlog_per_replica: u64, kv_watermark: f64) -> f64 {
+    let (backlog, kv) = pressure_terms(obs, backlog_per_replica, kv_watermark);
+    backlog.max(kv)
+}
+
+/// The two admission-pressure terms behind [`pressure_floor`], exposed
+/// separately so traced decisions can journal each term's value.
+fn pressure_terms(
+    obs: &FleetObservation<'_>,
+    backlog_per_replica: u64,
+    kv_watermark: f64,
+) -> (f64, f64) {
     let backlog = obs.backlog_tokens() as f64 / backlog_per_replica as f64;
     let per_replica_kv = obs
         .active
@@ -190,7 +222,7 @@ fn pressure_floor(obs: &FleetObservation<'_>, backlog_per_replica: u64, kv_water
         let incoming: u64 = obs.arrivals.iter().map(|s| s.prompt_tokens).sum();
         (resident + incoming) as f64 / (per_replica_kv as f64 * kv_watermark)
     };
-    backlog.max(kv)
+    (backlog, kv)
 }
 
 impl ReactivePolicy {
@@ -237,6 +269,21 @@ impl ScalePolicy for ReactivePolicy {
             return ScaleDecision::ScaleDown(1);
         }
         ScaleDecision::Hold
+    }
+
+    fn decide_traced(
+        &mut self,
+        obs: &FleetObservation<'_>,
+        terms: &mut Vec<(&'static str, f64)>,
+    ) -> ScaleDecision {
+        terms.clear();
+        let (backlog, kv) = pressure_terms(obs, self.backlog_per_replica, self.kv_watermark);
+        terms.push(("rate", obs.demand() / (obs.gamma * self.target_utilization)));
+        terms.push(("backlog", backlog));
+        terms.push(("kv", kv));
+        terms.push(("desired", self.desired(obs) as f64));
+        terms.push(("capacity", obs.capacity_units() as f64));
+        self.decide(obs)
     }
 }
 
@@ -343,6 +390,24 @@ impl ScalePolicy for PredictivePolicy {
             ScaleDecision::Hold
         }
     }
+
+    fn decide_traced(
+        &mut self,
+        obs: &FleetObservation<'_>,
+        terms: &mut Vec<(&'static str, f64)>,
+    ) -> ScaleDecision {
+        // Decide first (the EWMA update is part of the decision), then
+        // journal the post-update state the decision was made from.
+        let decision = self.decide(obs);
+        terms.clear();
+        let (backlog, kv) = pressure_terms(obs, self.backlog_per_replica, self.kv_watermark);
+        terms.push(("forecast", self.demand_ewma));
+        terms.push(("demand", obs.demand()));
+        terms.push(("backlog", backlog));
+        terms.push(("kv", kv));
+        terms.push(("capacity", obs.capacity_units() as f64));
+        decision
+    }
 }
 
 /// A fixed fleet-size schedule: `(from, target)` steps, each holding
@@ -388,6 +453,19 @@ impl ScalePolicy for ScriptedPolicy {
         } else {
             ScaleDecision::Hold
         }
+    }
+
+    fn decide_traced(
+        &mut self,
+        obs: &FleetObservation<'_>,
+        terms: &mut Vec<(&'static str, f64)>,
+    ) -> ScaleDecision {
+        terms.clear();
+        if let Some(target) = self.target_at(obs.now) {
+            terms.push(("target", target as f64));
+        }
+        terms.push(("capacity", obs.capacity_units() as f64));
+        self.decide(obs)
     }
 }
 

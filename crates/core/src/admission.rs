@@ -10,6 +10,7 @@ use tokenflow_kv::{Direction, EvictStart, KvManager};
 use tokenflow_model::CostModel;
 use tokenflow_sched::{Action, PreemptMode, ReqView, SchedContext, Scheduler};
 use tokenflow_sim::{EventQueue, RequestId, SimTime};
+use tokenflow_trace::{PreemptCause, TraceEventKind, TraceSink};
 
 use crate::config::EngineConfig;
 use crate::profiler::EngineProfilers;
@@ -20,6 +21,7 @@ pub(crate) fn ingest_arrivals(
     arrivals: &mut EventQueue<RequestId>,
     st: &mut EngineState,
     now: SimTime,
+    trace: &mut TraceSink,
 ) {
     while let Some(entry) = arrivals.pop_due(now) {
         st.decision_epoch += 1;
@@ -32,6 +34,13 @@ pub(crate) fn ingest_arrivals(
         st.waiting_count += 1;
         st.prefill_backlog_tokens += st.state(entry.event).context_tokens();
         st.insert_live(entry.event);
+        trace.emit(
+            now,
+            TraceEventKind::Arrived {
+                id: entry.event,
+                arrival: st.state(entry.event).spec.arrival,
+            },
+        );
     }
 }
 
@@ -130,27 +139,47 @@ pub(crate) fn build_ctx_into(
 }
 
 /// Starts (or restarts, after a discard) a request's prefill.
-fn admit_prefill(st: &mut EngineState, kv: &mut KvManager, id: RequestId) {
+fn admit_prefill(
+    st: &mut EngineState,
+    kv: &mut KvManager,
+    id: RequestId,
+    now: SimTime,
+    trace: &mut TraceSink,
+) {
     let phase = st.state(id).phase;
-    match phase {
+    let recompute = match phase {
         // A waiting request's context is already counted in the prefill
         // backlog; admission keeps it there (target − done is unchanged).
-        Phase::WaitingNew => st.waiting_count -= 1,
+        Phase::WaitingNew => {
+            st.waiting_count -= 1;
+            false
+        }
         Phase::OnCpu => {
             // Recompute path: drop the host copy and re-prefill. The
             // context re-enters the prefill backlog.
             kv.drop_kv(id);
             st.state_mut(id).metrics.recomputes += 1;
             st.prefill_backlog_tokens += st.state(id).context_tokens();
+            true
         }
         _ => return, // stale action; ignore
-    }
+    };
     st.decision_epoch += 1;
     let s = st.state_mut(id);
     s.prefill_target = s.context_tokens();
     s.prefill_done = 0;
     s.phase = Phase::Prefilling;
     st.prefill_queue.push_back(id);
+    trace.emit(
+        now,
+        TraceEventKind::Admitted {
+            id,
+            recompute,
+            queued_behind_tokens: st
+                .prefill_backlog_tokens
+                .saturating_sub(st.state(id).prefill_target),
+        },
+    );
 }
 
 /// Removes a running request from the batch, offloading or discarding its
@@ -161,6 +190,8 @@ pub(crate) fn apply_preempt(
     id: RequestId,
     mode: PreemptMode,
     now: SimTime,
+    cause: PreemptCause,
+    trace: &mut TraceSink,
 ) {
     if st.state(id).phase != Phase::Running {
         return; // stale action
@@ -168,6 +199,7 @@ pub(crate) fn apply_preempt(
     st.decision_epoch += 1;
     st.remove_running(id);
     st.state_mut(id).metrics.preemptions += 1;
+    let tokens = kv.context_tokens(id);
     let discard = |st: &mut EngineState, kv: &mut KvManager, id: RequestId| {
         kv.drop_kv(id);
         st.state_mut(id).phase = Phase::WaitingNew;
@@ -177,14 +209,35 @@ pub(crate) fn apply_preempt(
         st.waiting_count += 1;
         st.prefill_backlog_tokens += st.state(id).context_tokens();
     };
-    match mode {
-        PreemptMode::Discard => discard(st, kv, id),
+    let discarded = match mode {
+        PreemptMode::Discard => {
+            discard(st, kv, id);
+            true
+        }
         PreemptMode::Offload => match kv.begin_evict(id, now) {
-            Ok(EvictStart::Instant) => st.state_mut(id).phase = Phase::OnCpu,
-            Ok(EvictStart::InFlight) => st.state_mut(id).phase = Phase::Evicting,
-            Err(_) => discard(st, kv, id),
+            Ok(EvictStart::Instant) => {
+                st.state_mut(id).phase = Phase::OnCpu;
+                false
+            }
+            Ok(EvictStart::InFlight) => {
+                st.state_mut(id).phase = Phase::Evicting;
+                trace.emit(now, TraceEventKind::EvictStart { id, tokens });
+                false
+            }
+            Err(_) => {
+                discard(st, kv, id);
+                true
+            }
         },
-    }
+    };
+    trace.emit(
+        now,
+        TraceEventKind::Preempted {
+            id,
+            discard: discarded,
+            cause,
+        },
+    );
 }
 
 /// Applies the scheduler's plan, action by action, in order.
@@ -193,17 +246,28 @@ pub(crate) fn apply_plan(
     kv: &mut KvManager,
     actions: Vec<Action>,
     now: SimTime,
+    trace: &mut TraceSink,
 ) {
     for action in actions {
         match action {
-            Action::AdmitPrefill(id) => admit_prefill(st, kv, id),
+            Action::AdmitPrefill(id) => admit_prefill(st, kv, id, now, trace),
             Action::Resume(id) => {
                 if st.state(id).phase == Phase::OnCpu && kv.begin_load(id, now).is_ok() {
                     st.decision_epoch += 1;
                     st.state_mut(id).phase = Phase::Loading;
+                    trace.emit(now, TraceEventKind::Resumed { id });
+                    trace.emit(
+                        now,
+                        TraceEventKind::LoadStart {
+                            id,
+                            tokens: kv.context_tokens(id),
+                        },
+                    );
                 }
             }
-            Action::Preempt { id, mode } => apply_preempt(st, kv, id, mode, now),
+            Action::Preempt { id, mode } => {
+                apply_preempt(st, kv, id, mode, now, PreemptCause::Planned, trace)
+            }
         }
     }
 }
@@ -223,6 +287,7 @@ pub(crate) fn emergency_reclaim(
     scratch: &mut SchedContext,
     needed_blocks: u64,
     now: SimTime,
+    trace: &mut TraceSink,
 ) -> bool {
     let bt = config.block_tokens as u64;
     let mode = scheduler.emergency_preempt_mode();
@@ -239,7 +304,7 @@ pub(crate) fn emergency_reclaim(
         }
         // Offload may free only partially (in-flight flush); discard
         // frees immediately. Either way the victim leaves the batch.
-        apply_preempt(st, kv, victim, mode, now);
+        apply_preempt(st, kv, victim, mode, now, PreemptCause::Reclaim, trace);
         if mode == PreemptMode::Offload
             && kv.gpu_free_tokens() / bt < needed_blocks
             && st.state(victim).phase == Phase::Evicting

@@ -9,6 +9,7 @@ use tokenflow_kv::KvManager;
 use tokenflow_model::{CostModel, IterationSpec};
 use tokenflow_sched::{PrefillPolicy, SchedContext, Scheduler};
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_trace::{TraceEventKind, TraceSink};
 
 use crate::admission;
 use crate::config::EngineConfig;
@@ -57,6 +58,7 @@ pub(crate) fn compose_into(
     scheduler: &dyn Scheduler,
     ctx: &SchedContext,
     config: &EngineConfig,
+    trace: &mut TraceSink,
 ) {
     batch.decode.clear();
     batch.prefill.clear();
@@ -66,8 +68,11 @@ pub(crate) fn compose_into(
             .copied()
             .filter(|&id| st.state(id).phase == Phase::Running)
             .filter(|&id| {
-                ctx.view_of(id)
-                    .is_none_or(|v| scheduler.decode_gate(v, ctx))
+                let open = ctx
+                    .view_of(id)
+                    .is_none_or(|v| scheduler.decode_gate(v, ctx));
+                trace.gate(ctx.now, id, !open);
+                open
             }),
     );
     let (decode, prefill) = (&mut batch.decode, &mut batch.prefill);
@@ -158,6 +163,7 @@ pub(crate) fn fit_memory(
     profs: &EngineProfilers,
     scratch: &mut SchedContext,
     now: SimTime,
+    trace: &mut TraceSink,
 ) -> bool {
     let bt = config.block_tokens as u64;
     let completing_blocks: u64 = batch
@@ -170,7 +176,7 @@ pub(crate) fn fit_memory(
     let fits_clean = kv.gpu_free_tokens() / bt >= needed;
     if !fits_clean
         && !admission::emergency_reclaim(
-            st, kv, scheduler, cost, config, profs, scratch, needed, now,
+            st, kv, scheduler, cost, config, profs, scratch, needed, now, trace,
         )
     {
         // A failed reclaim may still have preempted members (phases left
@@ -210,6 +216,7 @@ pub(crate) fn fit_memory(
             let (victim, _) = candidates.remove(pos);
             batch.decode.retain(|&id| id != victim);
             needed -= 1;
+            trace.emit(now, TraceEventKind::Shed { id: victim });
         }
     }
 
@@ -357,6 +364,7 @@ mod tests {
             &profs,
             &mut scratch(),
             SimTime::ZERO,
+            &mut TraceSink::disabled(),
         );
         // Both boundary members need a fresh block and none is free, so
         // both are shed — largest buffer (c) first is irrelevant here,
@@ -428,6 +436,7 @@ mod tests {
             &profs,
             &mut scratch(),
             SimTime::ZERO,
+            &mut TraceSink::disabled(),
         );
         // b is gone (preempted), and of the two boundary members the
         // larger buffer (c) was shed; a keeps the one freed block. Were b
@@ -481,6 +490,7 @@ mod tests {
             &profs,
             &mut scratch(),
             SimTime::ZERO,
+            &mut TraceSink::disabled(),
         );
         assert_eq!(batch.decode, vec![small]);
     }

@@ -52,6 +52,10 @@ pub struct EngineConfig {
     /// step (the differential-testing and debugging path); results are
     /// byte-identical either way.
     pub plan_horizon: bool,
+    /// Record the decision-event trace journal. Off (the default) the
+    /// trace sink is a no-op and the hot path stays allocation-free;
+    /// results are byte-identical either way.
+    pub trace: bool,
 }
 
 impl EngineConfig {
@@ -78,7 +82,14 @@ impl EngineConfig {
             deadline: SimDuration::from_secs(4 * 3_600),
             max_iterations: 50_000_000,
             plan_horizon: true,
+            trace: false,
         }
+    }
+
+    /// Enables or disables decision-event tracing.
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
     }
 
     /// Overrides the iteration-count safety cap.

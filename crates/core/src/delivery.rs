@@ -9,6 +9,7 @@
 use tokenflow_kv::KvManager;
 use tokenflow_metrics::{effective_weight, qos_token_weight, QosParams, TimeSeries};
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_trace::{TraceEventKind, TraceSink};
 
 use crate::batch::IterationBatch;
 use crate::engine::StepOutcome;
@@ -24,6 +25,7 @@ pub(crate) fn apply_prefill_progress(
     end: SimTime,
     qos: &QosParams,
     outcome: &mut StepOutcome,
+    trace: &mut TraceSink,
 ) {
     for slice in &batch.prefill {
         st.prefill_backlog_tokens = st.prefill_backlog_tokens.saturating_sub(slice.tokens);
@@ -38,8 +40,16 @@ pub(crate) fn apply_prefill_progress(
                     st.state_mut(slice.id).phase = Phase::Running;
                     st.decision_epoch += 1;
                     st.push_running(slice.id);
+                    trace.emit(
+                        end,
+                        TraceEventKind::PrefillChunk {
+                            id: slice.id,
+                            tokens: slice.tokens,
+                            completes: true,
+                        },
+                    );
                     // The prefill forward pass emits the next token.
-                    deliver_token(st, kv, slice.id, end, qos, outcome);
+                    deliver_token(st, kv, slice.id, end, qos, outcome, trace);
                 }
                 Err(_) => {
                     // Lost the memory race: retry the final allocation
@@ -48,8 +58,25 @@ pub(crate) fn apply_prefill_progress(
                     let s = st.state_mut(slice.id);
                     s.prefill_done = s.prefill_target.saturating_sub(1);
                     st.prefill_backlog_tokens += 1;
+                    trace.emit(
+                        end,
+                        TraceEventKind::PrefillChunk {
+                            id: slice.id,
+                            tokens: slice.tokens.saturating_sub(1),
+                            completes: false,
+                        },
+                    );
                 }
             }
+        } else {
+            trace.emit(
+                end,
+                TraceEventKind::PrefillChunk {
+                    id: slice.id,
+                    tokens: slice.tokens,
+                    completes: false,
+                },
+            );
         }
     }
 }
@@ -57,6 +84,7 @@ pub(crate) fn apply_prefill_progress(
 /// Delivers one decode token per batch member. `now` is the iteration's
 /// start (flush priorities track occupancy at composition time); `end` is
 /// when the tokens materialise. Returns the number delivered.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn deliver_decode(
     st: &mut EngineState,
     kv: &mut KvManager,
@@ -65,6 +93,7 @@ pub(crate) fn deliver_decode(
     end: SimTime,
     qos: &QosParams,
     outcome: &mut StepOutcome,
+    trace: &mut TraceSink,
 ) -> u64 {
     let mut delivered = 0u64;
     for &id in &batch.decode {
@@ -77,7 +106,7 @@ pub(crate) fn deliver_decode(
             // contention): skip this request's token this round.
             continue;
         }
-        deliver_token(st, kv, id, end, qos, outcome);
+        deliver_token(st, kv, id, end, qos, outcome, trace);
         delivered += 1;
     }
     delivered
@@ -92,6 +121,7 @@ pub(crate) fn deliver_token(
     at: SimTime,
     qos: &QosParams,
     outcome: &mut StepOutcome,
+    trace: &mut TraceSink,
 ) {
     let s = st.state_mut(id);
     debug_assert!(s.generated < s.spec.output_tokens);
@@ -100,6 +130,7 @@ pub(crate) fn deliver_token(
     s.buffer.on_token(at);
     if s.metrics.first_token_at.is_none() {
         s.metrics.first_token_at = Some(at);
+        trace.emit(at, TraceEventKind::FirstToken { id });
     }
     s.metrics.generated = s.generated;
     s.metrics.effective_tokens += effective_weight(buffered_before, s.spec.output_tokens);
@@ -119,6 +150,7 @@ pub(crate) fn deliver_token(
         st.prefill_queue.retain(|&r| r != id);
         kv.drop_kv(id);
         outcome.finished.push(id);
+        trace.emit(at, TraceEventKind::Finished { id });
     }
 }
 

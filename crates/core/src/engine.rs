@@ -20,8 +20,9 @@ use tokenflow_client::TokenBuffer;
 use tokenflow_kv::{Direction, KvConfig, KvManager};
 use tokenflow_metrics::{RequestMetrics, RunReport, TokenTimeline};
 use tokenflow_model::CostModel;
-use tokenflow_sched::{SchedContext, SchedContextBuilder, Scheduler};
+use tokenflow_sched::{PlanNote, SchedContext, SchedContextBuilder, Scheduler};
 use tokenflow_sim::{Clock, EventQueue, RequestId, SimDuration, SimTime};
+use tokenflow_trace::{HorizonEndReason, TraceEventKind, TraceSink, TraceSource};
 use tokenflow_workload::{ClientKind, RequestSpec};
 
 use crate::batch::IterationBatch;
@@ -145,6 +146,9 @@ pub struct Engine {
     kv_events: Vec<tokenflow_kv::KvEvent>,
     /// Fast-path counters.
     fast_stats: FastPathStats,
+    /// Decision-event journal sink; a no-op unless
+    /// [`EngineConfig::trace`] is set.
+    trace: TraceSink,
 }
 
 impl Engine {
@@ -204,8 +208,26 @@ impl Engine {
             running_ctx_idx: Vec::new(),
             kv_events: Vec::new(),
             fast_stats: FastPathStats::default(),
+            trace: if config.trace {
+                TraceSink::enabled(TraceSource::Replica(0))
+            } else {
+                TraceSink::disabled()
+            },
             config,
         }
+    }
+
+    /// Re-labels the engine's trace stream (a no-op when tracing is
+    /// off). The cluster assigns each replica its stable index through
+    /// this, including to replicas provisioned mid-run.
+    pub fn set_trace_source(&mut self, source: TraceSource) {
+        self.trace.set_source(source);
+    }
+
+    /// Takes the trace events buffered so far, leaving the sink (and its
+    /// sequence counter) running. Empty when tracing is off.
+    pub fn take_trace_events(&mut self) -> Vec<tokenflow_trace::TraceEvent> {
+        self.trace.drain()
     }
 
     /// Submits an interactive request; its id is assigned densely in
@@ -320,9 +342,15 @@ impl Engine {
         // transfers. Both bump the decision epoch when they act, so they
         // run *before* the horizon check — an arrival or a transfer
         // completion lands in a full pipeline step.
-        admission::ingest_arrivals(&mut self.arrivals, &mut self.st, now);
+        admission::ingest_arrivals(&mut self.arrivals, &mut self.st, now, &mut self.trace);
         let mut kv_events = std::mem::take(&mut self.kv_events);
-        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, now, &mut kv_events);
+        kv_orchestrator::apply_transfers(
+            &mut self.st,
+            &mut self.kv,
+            now,
+            &mut kv_events,
+            &mut self.trace,
+        );
         self.kv_events = kv_events;
 
         // Plan-horizon fast path: inside an armed, unexpired certificate
@@ -363,8 +391,39 @@ impl Engine {
             &self.profs,
             now,
         );
+        self.ctx_plan.trace_notes = self.trace.is_enabled();
         let plan = self.scheduler.plan(&self.ctx_plan);
-        admission::apply_plan(&mut self.st, &mut self.kv, plan.actions, now);
+        for note in &plan.notes {
+            match *note {
+                PlanNote::Reprice { id, before, after } => {
+                    self.trace
+                        .emit(now, TraceEventKind::Reprice { id, before, after });
+                }
+                PlanNote::Swap {
+                    evicted,
+                    admitted,
+                    evicted_priority,
+                    admitted_priority,
+                } => {
+                    self.trace.emit(
+                        now,
+                        TraceEventKind::Swap {
+                            evicted,
+                            admitted,
+                            evicted_priority,
+                            admitted_priority,
+                        },
+                    );
+                }
+            }
+        }
+        admission::apply_plan(
+            &mut self.st,
+            &mut self.kv,
+            plan.actions,
+            now,
+            &mut self.trace,
+        );
 
         // Stage 3: compose the iteration batch against post-plan state and
         // fit it into GPU memory. When the plan did not act (the epoch
@@ -392,6 +451,7 @@ impl Engine {
             self.scheduler.as_ref(),
             &self.ctx_batch,
             &self.config,
+            &mut self.trace,
         );
         let fits_clean = batch::fit_memory(
             &mut self.iter_batch,
@@ -405,6 +465,7 @@ impl Engine {
             // emergency-reclaim loop as scratch.
             &mut self.ctx_plan,
             now,
+            &mut self.trace,
         );
 
         // Idle fast-forward when there is no compute work.
@@ -427,7 +488,13 @@ impl Engine {
         );
         let end = self.clock.advance(iter_time);
         let mut kv_events = std::mem::take(&mut self.kv_events);
-        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, end, &mut kv_events);
+        kv_orchestrator::apply_transfers(
+            &mut self.st,
+            &mut self.kv,
+            end,
+            &mut kv_events,
+            &mut self.trace,
+        );
         self.kv_events = kv_events;
 
         // Stage 4: deliveries and telemetry.
@@ -439,6 +506,7 @@ impl Engine {
             end,
             &qos,
             outcome,
+            &mut self.trace,
         );
         let decode_delivered = delivery::deliver_decode(
             &mut self.st,
@@ -448,6 +516,7 @@ impl Engine {
             end,
             &qos,
             outcome,
+            &mut self.trace,
         );
         if spec.prefill_tokens > 0 {
             self.profs.prefill.record(spec.prefill_tokens, iter_time);
@@ -486,6 +555,13 @@ impl Engine {
                         epoch: epoch_at_plan,
                     });
                     self.fast_stats.horizons_issued += 1;
+                    self.trace.emit(
+                        end,
+                        TraceEventKind::HorizonArmed {
+                            valid_until: h.valid_until,
+                            gates_static: h.gates_static,
+                        },
+                    );
                 }
             }
         }
@@ -501,11 +577,23 @@ impl Engine {
         if self.st.decision_epoch != h.epoch {
             self.horizon = None;
             self.fast_stats.horizons_invalidated += 1;
+            self.trace.emit(
+                now,
+                TraceEventKind::HorizonEnded {
+                    reason: HorizonEndReason::Invalidated,
+                },
+            );
             return false;
         }
         if now >= h.valid_until {
             self.horizon = None;
             self.fast_stats.horizons_expired += 1;
+            self.trace.emit(
+                now,
+                TraceEventKind::HorizonEnded {
+                    reason: HorizonEndReason::Expired,
+                },
+            );
             return false;
         }
         // Mirror the KV transfer completions that landed since the last
@@ -535,6 +623,12 @@ impl Engine {
         if (flipped || !h.gates_static) && !self.refresh_and_regate(now) {
             self.horizon = None;
             self.fast_stats.horizons_invalidated += 1;
+            self.trace.emit(
+                now,
+                TraceEventKind::HorizonEnded {
+                    reason: HorizonEndReason::Invalidated,
+                },
+            );
             return false;
         }
         // Per-step memory pre-check, exactly the full path's (there is
@@ -546,6 +640,12 @@ impl Engine {
         {
             self.horizon = None;
             self.fast_stats.horizons_invalidated += 1;
+            self.trace.emit(
+                now,
+                TraceEventKind::HorizonEnded {
+                    reason: HorizonEndReason::Invalidated,
+                },
+            );
             return false;
         }
         true
@@ -588,6 +688,7 @@ impl Engine {
         let ctx = &self.ctx_batch;
         let idx = &self.running_ctx_idx;
         let scheduler = self.scheduler.as_ref();
+        let sink = &mut self.trace;
         self.iter_batch.decode.clear();
         self.iter_batch.prefill.clear();
         self.iter_batch.decode.extend(
@@ -596,10 +697,13 @@ impl Engine {
                 .copied()
                 .enumerate()
                 .filter(|&(_, id)| st.state(id).phase == Phase::Running)
-                .filter(|&(i, _)| {
-                    ctx.requests
+                .filter(|&(i, id)| {
+                    let open = ctx
+                        .requests
                         .get(idx[i] as usize)
-                        .is_none_or(|v| scheduler.decode_gate(v, ctx))
+                        .is_none_or(|v| scheduler.decode_gate(v, ctx));
+                    sink.gate(now, id, !open);
+                    open
                 })
                 .map(|(_, id)| id),
         );
@@ -643,7 +747,13 @@ impl Engine {
         );
         let end = self.clock.advance(iter_time);
         let mut kv_events = std::mem::take(&mut self.kv_events);
-        kv_orchestrator::apply_transfers(&mut self.st, &mut self.kv, end, &mut kv_events);
+        kv_orchestrator::apply_transfers(
+            &mut self.st,
+            &mut self.kv,
+            end,
+            &mut kv_events,
+            &mut self.trace,
+        );
         self.kv_events = kv_events;
         let qos = self.config.qos;
         let decode_delivered = delivery::deliver_decode(
@@ -654,6 +764,7 @@ impl Engine {
             end,
             &qos,
             outcome,
+            &mut self.trace,
         );
         // Feed the profilers the same samples the full path would (the
         // prefill EMA skips zero-token records there too), so Γ reads
@@ -784,11 +895,15 @@ impl Engine {
         }
         let records: Vec<RequestMetrics> =
             self.st.requests.iter().map(|s| s.metrics.clone()).collect();
-        let report = RunReport::from_records(
+        let mut report = RunReport::from_records(
             &records,
             run_end.saturating_since(SimTime::ZERO),
             &self.config.qos,
         );
+        report.runtime.fast_steps = self.fast_stats.fast_steps;
+        report.runtime.horizons_issued = self.fast_stats.horizons_issued;
+        report.runtime.horizons_invalidated = self.fast_stats.horizons_invalidated;
+        report.runtime.horizons_expired = self.fast_stats.horizons_expired;
         let timelines = self
             .st
             .requests
@@ -818,6 +933,7 @@ impl Engine {
             complete,
             completion,
             iterations: self.iterations,
+            trace: self.trace.into_journal(),
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use tokenflow_kv::{KvEvent, KvManager};
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_trace::{TraceEventKind, TraceSink};
 
 use crate::state::{EngineState, Phase};
 
@@ -25,23 +26,26 @@ pub(crate) fn apply_transfers(
     kv: &mut KvManager,
     to: SimTime,
     events: &mut Vec<KvEvent>,
+    trace: &mut TraceSink,
 ) {
     kv.advance_into(to, events);
     for &event in events.iter() {
         match event {
-            KvEvent::EvictDone { req, .. } => {
+            KvEvent::EvictDone { req, at } => {
                 let s = st.state_mut(req);
                 if s.phase == Phase::Evicting {
                     s.phase = Phase::OnCpu;
                     st.transfer_flips.push(req);
+                    trace.emit(at, TraceEventKind::EvictDone { id: req });
                 }
             }
-            KvEvent::LoadDone { req, .. } => {
+            KvEvent::LoadDone { req, at } => {
                 let s = st.state_mut(req);
                 if s.phase == Phase::Loading {
                     s.phase = Phase::Running;
                     st.push_running(req);
                     st.transfer_flips.push(req);
+                    trace.emit(at, TraceEventKind::LoadDone { id: req });
                 }
             }
         }

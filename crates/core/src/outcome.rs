@@ -2,6 +2,7 @@
 
 use tokenflow_metrics::{RequestMetrics, RunReport, TimeSeries, TokenTimeline};
 use tokenflow_sim::SimDuration;
+use tokenflow_trace::TraceJournal;
 
 use crate::engine::Completion;
 
@@ -33,4 +34,7 @@ pub struct SimOutcome {
     pub completion: Completion,
     /// Total engine iterations executed.
     pub iterations: u64,
+    /// The decision-event journal, when the run was traced
+    /// ([`EngineConfig::trace`](crate::EngineConfig)).
+    pub trace: Option<TraceJournal>,
 }

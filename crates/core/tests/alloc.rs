@@ -13,6 +13,13 @@
 //! per-advance vector) — that is KV *traffic*, not the per-step engine
 //! overhead this test isolates. The file holds exactly one `#[test]` so
 //! no concurrent test pollutes the counter.
+//!
+//! The disabled [`TraceSink`] is threaded through every stage of the
+//! measured window (admission, planning, batch, KV, gates), so the
+//! zero-allocation assertion is also the tracing-off zero-cost proof:
+//! with `EngineConfig::trace` unset (the default used here), the
+//! decision-journal plumbing adds no allocations — and, asserted below,
+//! records nothing.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,4 +111,11 @@ fn steady_state_step_allocates_nothing() {
     );
     // The window really did deliver work (one token per member per step).
     assert_eq!(out.delivered.len(), 8);
+    // Tracing-off means *off*: the sink threaded through the measured
+    // window buffered nothing (the zero-alloc assertion above already
+    // proves it allocated nothing).
+    assert!(
+        engine.take_trace_events().is_empty(),
+        "untraced engine must record no events"
+    );
 }

@@ -13,7 +13,7 @@
 //! reorder fields or change float formatting without updating every
 //! golden digest.
 
-use crate::report::{RunReport, Summary};
+use crate::report::{RunReport, RuntimeCounters, Summary};
 
 /// 64-bit FNV-1a over a byte stream — stable, dependency-free, and fast
 /// enough for test-time digesting.
@@ -34,6 +34,22 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// distinctly so accidental sign/NaN changes are caught too.
 fn float(v: f64) -> String {
     format!("{v:?}")
+}
+
+fn runtime_json(c: &RuntimeCounters) -> String {
+    format!(
+        "{{\"fast_steps\":{},\"horizons_issued\":{},\"horizons_invalidated\":{},\
+         \"horizons_expired\":{},\"epochs\":{},\"batched_barriers\":{},\
+         \"pool_workers\":{},\"pool_submissions\":{}}}",
+        c.fast_steps,
+        c.horizons_issued,
+        c.horizons_invalidated,
+        c.horizons_expired,
+        c.epochs,
+        c.batched_barriers,
+        c.pool_workers,
+        c.pool_submissions,
+    )
 }
 
 fn summary_json(s: &Summary) -> String {
@@ -57,7 +73,8 @@ impl RunReport {
             "{{\"submitted\":{},\"completed\":{},\"duration_us\":{},\"ttft\":{},\
              \"throughput\":{},\"effective_throughput\":{},\"qos\":{},\
              \"total_rebuffer_secs\":{},\"stall_events\":{},\"preemptions\":{},\
-             \"recomputes\":{},\"mean_generation_rate\":{},\"replica_seconds\":{}}}",
+             \"recomputes\":{},\"mean_generation_rate\":{},\"replica_seconds\":{},\
+             \"runtime\":{}}}",
             self.submitted,
             self.completed,
             self.duration.as_micros(),
@@ -71,6 +88,7 @@ impl RunReport {
             self.recomputes,
             float(self.mean_generation_rate),
             float(self.replica_seconds),
+            runtime_json(&self.runtime),
         )
     }
 

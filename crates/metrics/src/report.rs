@@ -92,6 +92,70 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// Execution-machinery counters surfaced alongside the serving metrics:
+/// the engine's plan-horizon fast-path statistics and the cluster
+/// executor's barrier/pool statistics. Zero for layers that don't apply
+/// (a single-engine run has no epochs; a replica report inside a cluster
+/// merge has no pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RuntimeCounters {
+    /// Engine steps served by the plan-horizon fast path.
+    pub fast_steps: u64,
+    /// Plan horizons armed.
+    pub horizons_issued: u64,
+    /// Horizons torn down early by a decision-epoch bump.
+    pub horizons_invalidated: u64,
+    /// Horizons that ran their full certified window.
+    pub horizons_expired: u64,
+    /// Cluster arrival-barrier epochs executed.
+    pub epochs: u64,
+    /// Epochs whose barriers were batched by the span optimisation.
+    pub batched_barriers: u64,
+    /// Worker threads of the persistent executor pool (0 when sequential
+    /// or scoped).
+    pub pool_workers: u64,
+    /// Replica-advance tasks submitted to the pool.
+    pub pool_submissions: u64,
+}
+
+impl RuntimeCounters {
+    /// Field-wise sum, except `pool_workers` (a configuration value, not
+    /// a total) which takes the maximum.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a RuntimeCounters>) -> RuntimeCounters {
+        let mut total = RuntimeCounters::default();
+        for c in parts {
+            total.fast_steps += c.fast_steps;
+            total.horizons_issued += c.horizons_issued;
+            total.horizons_invalidated += c.horizons_invalidated;
+            total.horizons_expired += c.horizons_expired;
+            total.epochs += c.epochs;
+            total.batched_barriers += c.batched_barriers;
+            total.pool_workers = total.pool_workers.max(c.pool_workers);
+            total.pool_submissions += c.pool_submissions;
+        }
+        total
+    }
+
+    /// Copy with the executor-mechanics counters (epochs, batched
+    /// barriers, pool stats) zeroed, keeping only the counters pinned by
+    /// the executor-invariance contract. The mechanics counters describe
+    /// *how* a cluster run was executed — barrier batching and worker
+    /// pools are exactly what `Sequential` vs `Parallel` changes — so
+    /// they are the one part of a report allowed to differ between
+    /// execution strategies. The fast-path counters are simulation
+    /// semantics and must not move; equivalence suites compare reports
+    /// through this view.
+    pub fn invariant(&self) -> RuntimeCounters {
+        RuntimeCounters {
+            fast_steps: self.fast_steps,
+            horizons_issued: self.horizons_issued,
+            horizons_invalidated: self.horizons_invalidated,
+            horizons_expired: self.horizons_expired,
+            ..RuntimeCounters::default()
+        }
+    }
+}
+
 /// Aggregated results of one serving run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -125,6 +189,10 @@ pub struct RunReport {
     /// parts, and elastic clusters overwrite this with the control
     /// plane's exact integral (see `tokenflow-metrics`' `FleetStats`).
     pub replica_seconds: f64,
+    /// Execution-machinery counters (fast-path and executor statistics).
+    /// `from_records` leaves them zero; the engine and cluster layers
+    /// fill them in when building their outcomes.
+    pub runtime: RuntimeCounters,
 }
 
 impl RunReport {
@@ -167,6 +235,7 @@ impl RunReport {
                 gen_rates.iter().sum::<f64>() / gen_rates.len() as f64
             },
             replica_seconds: duration.as_secs_f64(),
+            runtime: RuntimeCounters::default(),
         }
     }
 
@@ -221,6 +290,7 @@ impl RunReport {
                 rate_weight / completed as f64
             },
             replica_seconds: reports.iter().map(|r| r.replica_seconds).sum(),
+            runtime: RuntimeCounters::merged(reports.iter().map(|r| &r.runtime)),
         }
     }
 }

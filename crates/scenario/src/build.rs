@@ -23,6 +23,7 @@ use tokenflow_sched::{
     TokenFlowScheduler,
 };
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
+use tokenflow_trace::TraceJournal;
 use tokenflow_workload::{
     diurnal_flash_crowd, trace, ArrivalSpec, ControlledSetup, LengthDist, RateDist, RequestSpec,
     Workload, WorkloadGen,
@@ -351,6 +352,15 @@ pub struct Harness {
 impl Harness {
     /// Runs the scenario to completion and reports.
     pub fn run(self) -> RunOutcome {
+        self.run_with_execution(None)
+    }
+
+    /// Runs with the topology's execution strategy overridden — the
+    /// trace determinism suite uses this to drive the legacy
+    /// scoped-per-epoch executor, which deliberately has no spec name.
+    /// `None` runs the spec's own strategy; the single topology has no
+    /// executor axis and ignores the override.
+    pub fn run_with_execution(self, execution_override: Option<Execution>) -> RunOutcome {
         let scheduler_spec = self.scheduler;
         let scheduler_name = scheduler_spec.build_scheduler().name().to_string();
         match self.topology {
@@ -371,6 +381,7 @@ impl Harness {
                     complete: out.complete,
                     completion: out.completion,
                     report: out.report,
+                    trace: out.trace,
                 }
             }
             TopologySpec::Cluster {
@@ -384,7 +395,7 @@ impl Harness {
                     router.build_router(),
                     move || scheduler_spec.build_scheduler(),
                     &self.workload,
-                    execution.build_execution(),
+                    execution_override.unwrap_or_else(|| execution.build_execution()),
                 );
                 RunOutcome {
                     scenario: self.name,
@@ -397,6 +408,7 @@ impl Harness {
                     complete: out.complete,
                     completion: completion_of(out.complete),
                     report: out.merged,
+                    trace: out.trace,
                 }
             }
             TopologySpec::Autoscaled {
@@ -415,7 +427,7 @@ impl Harness {
                     policy.build_policy(),
                     control_config,
                     &self.workload,
-                    execution.build_execution(),
+                    execution_override.unwrap_or_else(|| execution.build_execution()),
                 );
                 RunOutcome {
                     scenario: self.name,
@@ -428,6 +440,7 @@ impl Harness {
                     complete: out.complete,
                     completion: completion_of(out.complete),
                     report: out.merged,
+                    trace: out.trace,
                 }
             }
         }
@@ -469,6 +482,10 @@ pub struct RunOutcome {
     pub completion: Completion,
     /// The (merged) run report.
     pub report: RunReport,
+    /// The decision journal, when the run was traced
+    /// ([`EngineConfig::trace`]); `None` on untraced runs. Cluster
+    /// journals are merged with request ids in cluster submission order.
+    pub trace: Option<TraceJournal>,
 }
 
 impl RunOutcome {

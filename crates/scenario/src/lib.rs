@@ -50,6 +50,7 @@ pub mod codec;
 pub mod json;
 pub mod spec;
 pub mod sweep;
+pub mod tracefmt;
 
 pub use build::{Harness, RunOutcome};
 pub use codec::{
@@ -64,6 +65,11 @@ pub use spec::{
     PRESET_NAMES, RATE_DIST_NAMES, ROUTER_NAMES, SCALE_POLICY_NAMES, SCHEDULER_NAMES,
     TOPOLOGY_NAMES, WORKLOAD_TYPE_NAMES,
 };
+pub use tracefmt::{
+    canonical_trace_jsonl, event_json, explain, perfetto_json, request_timeline, trace_digest,
+    trace_jsonl, validate_trace_jsonl, Phase, RequestTimeline,
+};
+
 pub use sweep::{
     is_sweep, parse_sweep, run_sweep, run_sweep_jobs, sweep_from_json, sweep_table, sweep_to_json,
     Axis, SweepCell, SweepSpec,

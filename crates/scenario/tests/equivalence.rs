@@ -273,5 +273,12 @@ fn parallel_execution_spec_matches_sequential_hand_built() {
         ..base_spec()
     };
     let built = spec.build().expect("buildable").run();
-    assert_eq!(built.digest(), hand.merged.digest());
+    // Executor-mechanics runtime counters (pool stats, barrier batching)
+    // are the one intentionally executor-visible report surface; the
+    // digests must match once those are normalized away.
+    let mut built_report = built.report.clone();
+    built_report.runtime = built_report.runtime.invariant();
+    let mut hand_report = hand.merged.clone();
+    hand_report.runtime = hand_report.runtime.invariant();
+    assert_eq!(built_report.digest(), hand_report.digest());
 }

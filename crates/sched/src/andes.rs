@@ -16,8 +16,8 @@
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
 use crate::api::{
-    Action, PlanHorizon, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan,
-    Scheduler,
+    Action, PlanHorizon, PlanNote, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext,
+    SchedPlan, Scheduler,
 };
 use crate::util::{
     admission_cost, fcfs_admissions, largest_buffer_running, quiescent_across_transfers,
@@ -37,6 +37,10 @@ pub struct AndesScheduler {
     /// Memory fill target as a fraction of total KV capacity.
     util_target: f64,
     last_schedule: Option<SimTime>,
+    /// Urgency keys of the previous full pass, in ascending-id order.
+    /// Maintained only while the context requests trace notes; decisions
+    /// never read it.
+    last_urgency: Vec<(RequestId, f64)>,
 }
 
 impl AndesScheduler {
@@ -49,6 +53,7 @@ impl AndesScheduler {
             headroom: 512,
             util_target: 0.92,
             last_schedule: None,
+            last_urgency: Vec::new(),
         }
     }
 
@@ -88,9 +93,11 @@ impl Scheduler for AndesScheduler {
             .is_none_or(|t| ctx.now >= t + self.interval);
         if !due {
             // Between re-rankings only plain admissions happen.
-            return SchedPlan {
-                actions: fcfs_admissions(ctx, AdmissionCosting::Headroom(self.headroom), false),
-            };
+            return SchedPlan::of(fcfs_admissions(
+                ctx,
+                AdmissionCosting::Headroom(self.headroom),
+                false,
+            ));
         }
         self.last_schedule = Some(ctx.now);
 
@@ -105,6 +112,40 @@ impl Scheduler for AndesScheduler {
                 )
             })
             .collect();
+        // QoE repricing notes: `candidates` is still in ascending-id
+        // order here (it follows the id-ordered context), as is the
+        // previous pass's key list, so a merge walk pairs each request's
+        // old urgency with its new one.
+        let mut notes: Vec<PlanNote> = Vec::new();
+        if ctx.trace_notes {
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < self.last_urgency.len() && b < candidates.len() {
+                let (prev_id, before) = self.last_urgency[a];
+                let cur_id = candidates[b].id;
+                match prev_id.cmp(&cur_id) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let after = Self::urgency_key(candidates[b], ctx.now).0;
+                        if before != after {
+                            notes.push(PlanNote::Reprice {
+                                id: cur_id,
+                                before,
+                                after,
+                            });
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+            self.last_urgency.clear();
+            self.last_urgency.extend(
+                candidates
+                    .iter()
+                    .map(|r| (r.id, Self::urgency_key(r, ctx.now).0)),
+            );
+        }
         candidates.sort_by(|a, b| {
             Self::urgency_key(a, ctx.now)
                 .partial_cmp(&Self::urgency_key(b, ctx.now))
@@ -197,7 +238,7 @@ impl Scheduler for AndesScheduler {
             // re-prefilled (Andes lacks the hierarchical manager).
             actions.push(Action::AdmitPrefill(r.id));
         }
-        SchedPlan { actions }
+        SchedPlan { actions, notes }
     }
 
     /// Between re-rankings the only decision is the FCFS admission

@@ -96,6 +96,12 @@ pub struct SchedContext {
     pub kv_bytes_per_token: u64,
     /// Hard cap on concurrently running requests.
     pub max_batch: u32,
+    /// True when the engine is recording a decision trace and wants
+    /// [`SchedPlan::notes`] filled. Off (the default), schedulers must
+    /// skip note bookkeeping entirely so the hot path stays
+    /// allocation-free; decisions themselves must never depend on this
+    /// flag.
+    pub trace_notes: bool,
     /// Per-phase request counts, cached at construction so
     /// [`SchedContext::count_phase`] is O(1) on the engine's hot path
     /// (pacing gates query it per batch member per iteration). Private:
@@ -251,17 +257,49 @@ pub enum Action {
     },
 }
 
+/// A scheduler's explanation of *why* this pass decided what it did —
+/// recorded only when [`SchedContext::trace_notes`] is set, and turned
+/// into trace events by the engine. Notes never affect execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanNote {
+    /// A full pass changed a request's priority.
+    Reprice {
+        id: RequestId,
+        before: f64,
+        after: f64,
+    },
+    /// A local-search step swapped one selected request for another.
+    Swap {
+        evicted: RequestId,
+        admitted: RequestId,
+        evicted_priority: f64,
+        admitted_priority: f64,
+    },
+}
+
 /// The scheduler's output for one iteration.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SchedPlan {
     /// Decisions, applied in order.
     pub actions: Vec<Action>,
+    /// Decision annotations for the trace journal; always empty unless
+    /// the context set [`SchedContext::trace_notes`] (an empty `Vec`
+    /// costs nothing — it never allocates).
+    pub notes: Vec<PlanNote>,
 }
 
 impl SchedPlan {
     /// The empty plan.
     pub fn none() -> Self {
         SchedPlan::default()
+    }
+
+    /// A plan with actions and no notes.
+    pub fn of(actions: Vec<Action>) -> Self {
+        SchedPlan {
+            actions,
+            notes: Vec::new(),
+        }
     }
 
     /// True when the plan makes no changes.
@@ -457,6 +495,7 @@ impl SchedContextBuilder {
                 pcie_bandwidth: 1.0,
                 kv_bytes_per_token: 0,
                 max_batch: 1,
+                trace_notes: false,
                 phase_counts: [0; 4],
             },
         }

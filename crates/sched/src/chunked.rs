@@ -46,9 +46,7 @@ impl Scheduler for ChunkedPrefillScheduler {
     }
 
     fn plan(&mut self, ctx: &SchedContext) -> SchedPlan {
-        SchedPlan {
-            actions: fcfs_admissions(ctx, AdmissionCosting::Conservative, true),
-        }
+        SchedPlan::of(fcfs_admissions(ctx, AdmissionCosting::Conservative, true))
     }
 
     /// Same certificate as [`FcfsScheduler`](crate::FcfsScheduler):

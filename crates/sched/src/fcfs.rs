@@ -62,9 +62,7 @@ impl Scheduler for FcfsScheduler {
     }
 
     fn plan(&mut self, ctx: &SchedContext) -> SchedPlan {
-        SchedPlan {
-            actions: fcfs_admissions(ctx, self.costing, true),
-        }
+        SchedPlan::of(fcfs_admissions(ctx, self.costing, true))
     }
 
     /// FCFS is stateless and time-free: while every batch slot holds a

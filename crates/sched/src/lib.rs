@@ -37,7 +37,7 @@ pub mod util;
 
 pub use andes::AndesScheduler;
 pub use api::{
-    Action, PlanHorizon, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext,
+    Action, PlanHorizon, PlanNote, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext,
     SchedContextBuilder, SchedPlan, Scheduler,
 };
 pub use chunked::ChunkedPrefillScheduler;

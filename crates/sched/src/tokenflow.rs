@@ -28,8 +28,8 @@
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 
 use crate::api::{
-    Action, PlanHorizon, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext, SchedPlan,
-    Scheduler,
+    Action, PlanHorizon, PlanNote, PreemptMode, PrefillPolicy, ReqPhase, ReqView, SchedContext,
+    SchedPlan, Scheduler,
 };
 use crate::util::{
     admission_cost, fcfs_admissions, largest_buffer_running, quiescent_across_transfers,
@@ -276,6 +276,7 @@ impl TokenFlowScheduler {
         // methods stay borrowable; it moves back (with its capacity) at
         // the end.
         let mut sc = std::mem::take(&mut self.scratch);
+        let mut notes: Vec<PlanNote> = Vec::new();
         let w_sched = self.working_set_size(ctx);
         // Discount memory already committed to transitioning requests
         // (loads in flight, prompts mid-prefill).
@@ -319,6 +320,33 @@ impl TokenFlowScheduler {
         sc.keys
             .extend(sc.candidates.iter().map(|c| (c.priority, c.arrival, c.id)));
         if sc.keys != sc.last_keys {
+            if ctx.trace_notes {
+                // Repricing notes: both key lists are in ascending-id
+                // order (candidates follow the id-ordered context), so a
+                // merge walk pairs each request's previous-pass priority
+                // with its new one. Runs only on distinct passes — the
+                // cached-permutation fast path implies nothing repriced.
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < sc.last_keys.len() && b < sc.keys.len() {
+                    let (before, _, prev_id) = sc.last_keys[a];
+                    let (after, _, cur_id) = sc.keys[b];
+                    match prev_id.cmp(&cur_id) {
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                        std::cmp::Ordering::Equal => {
+                            if before != after {
+                                notes.push(PlanNote::Reprice {
+                                    id: cur_id,
+                                    before,
+                                    after,
+                                });
+                            }
+                            a += 1;
+                            b += 1;
+                        }
+                    }
+                }
+            }
             sc.order.clear();
             sc.order.extend(0..sc.candidates.len() as u32);
             let cand = &sc.candidates;
@@ -460,6 +488,14 @@ impl TokenFlowScheduler {
                 let gain = candidates[j].priority - candidates[i].priority;
                 let new_used = used - candidates[i].cost + candidates[j].cost;
                 if gain > 1e-12 && new_used <= budget_total {
+                    if ctx.trace_notes {
+                        notes.push(PlanNote::Swap {
+                            evicted: candidates[i].id,
+                            admitted: candidates[j].id,
+                            evicted_priority: candidates[i].priority,
+                            admitted_priority: candidates[j].priority,
+                        });
+                    }
                     sc.selected.retain(|&k| k != i);
                     sc.in_selected[i] = false;
                     sc.selected.push(j);
@@ -515,7 +551,7 @@ impl TokenFlowScheduler {
             transitions += 1;
         }
         self.scratch = sc;
-        SchedPlan { actions }
+        SchedPlan { actions, notes }
     }
 }
 
@@ -543,13 +579,11 @@ impl Scheduler for TokenFlowScheduler {
         // Time-sliced activation (§4.2.1): the full pass runs only at the
         // interval and under stress; otherwise the prefill-first fast path.
         if !(due && stressed) {
-            return SchedPlan {
-                actions: fcfs_admissions(
-                    ctx,
-                    AdmissionCosting::Headroom(self.params.headroom_tokens),
-                    false,
-                ),
-            };
+            return SchedPlan::of(fcfs_admissions(
+                ctx,
+                AdmissionCosting::Headroom(self.params.headroom_tokens),
+                false,
+            ));
         }
         self.last_schedule = Some(ctx.now);
         self.full_pass(ctx)

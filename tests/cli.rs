@@ -1,0 +1,134 @@
+//! CLI contract tests, driven against the real `tokenflow` binary.
+//!
+//! Pins the typed-error exit behavior: usage mistakes exit 2, spec and
+//! I/O failures exit 1 — in particular a failed `--out`/`--trace` write
+//! must fail the invocation (it used to be possible for a run to look
+//! successful while the artifact a script depended on was never
+//! written). Also smoke-covers the trace surfaces end to end: `run
+//! --trace` emits schema-valid JSONL, `trace --format perfetto` emits
+//! parseable Chrome trace JSON, and `explain` reports a causal timeline
+//! whose wait attributions are printed with the TTFT they sum to.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use tokenflow_scenario::{json, validate_trace_jsonl};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tokenflow"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tokenflow-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+const QUICKSTART: &str = "scenarios/quickstart_single.json";
+
+#[test]
+fn no_command_exits_2_with_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown command"));
+}
+
+#[test]
+fn missing_spec_file_exits_1() {
+    let out = run(&["run", "/nonexistent/spec.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot read"));
+}
+
+#[test]
+fn unwritable_out_path_exits_nonzero() {
+    // The run itself succeeds; the report write fails. The invocation
+    // must fail loudly — this is the regression the typed CLI error
+    // fixed.
+    let out = run(&["run", QUICKSTART, "--out", "/nonexistent-dir/report.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("cannot write /nonexistent-dir/report.json"),
+        "stderr must name the unwritable path: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn unwritable_trace_path_exits_nonzero() {
+    let out = run(&["run", QUICKSTART, "--trace", "/nonexistent-dir/trace.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot write /nonexistent-dir/trace.jsonl"));
+}
+
+#[test]
+fn bad_format_value_exits_2() {
+    let out = run(&["trace", QUICKSTART, "--format", "csv"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("jsonl"));
+}
+
+#[test]
+fn run_trace_writes_schema_valid_jsonl() {
+    let path = temp_path("run-trace.jsonl");
+    let out = run(&["run", QUICKSTART, "--trace", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let events = validate_trace_jsonl(&text).expect("trace JSONL validates");
+    assert!(events > 0, "journal must not be empty");
+    assert!(stderr_of(&out).contains("digest"));
+}
+
+#[test]
+fn trace_perfetto_emits_parseable_chrome_json() {
+    let out = run(&["trace", QUICKSTART, "--format", "perfetto"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let doc = json::parse(&String::from_utf8_lossy(&out.stdout)).expect("perfetto JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn explain_prints_a_timeline_with_attributions() {
+    for id in ["req#0", "0"] {
+        let out = run(&["explain", QUICKSTART, id]);
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(text.contains("req#0 — decision timeline"), "{text}");
+        assert!(text.contains("first token"), "{text}");
+        assert!(text.contains("time to first token"), "{text}");
+        assert!(text.contains("total latency"), "{text}");
+    }
+}
+
+#[test]
+fn explain_unknown_request_exits_1() {
+    let out = run(&["explain", QUICKSTART, "req#100000"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("never appears"));
+}
+
+#[test]
+fn explain_bad_id_exits_2() {
+    let out = run(&["explain", QUICKSTART, "request-three"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -25,7 +25,7 @@
 use tokenflow_cluster::{run_autoscaled, run_cluster_with, ClusterOutcome, Execution, Router};
 use tokenflow_control::{ControlConfig, ScalePolicy};
 use tokenflow_core::{run_simulation_boxed, EngineConfig, SimOutcome};
-use tokenflow_metrics::fnv1a64;
+use tokenflow_metrics::{fnv1a64, RunReport, RuntimeCounters};
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_scenario::{
     json::Json, policy_from_json, router_from_json, scheduler_from_json, ControlSpec, EngineSpec,
@@ -76,10 +76,23 @@ fn scheduler_spec(which: &str) -> SchedulerSpec {
 /// utilisation — aggregate reports do not cover these, and hot-path
 /// rewrites of the sampling walk have regressed them before), and the
 /// iteration count.
+/// The canonical report JSON with the `runtime` telemetry object zeroed.
+/// Runtime counters describe how a run was executed — fast-path hits,
+/// epoch batching, worker-pool reuse: exactly the numbers the
+/// fastpath-off and Sequential-vs-Parallel differential runs below are
+/// *supposed* to change while every serving metric stays put. Digests
+/// therefore pin everything but them; the counters themselves are
+/// gated behaviorally (`tests/alloc.rs`, `crates/cluster/tests/pool.rs`).
+fn semantic_json(report: &RunReport) -> String {
+    let mut report = report.clone();
+    report.runtime = RuntimeCounters::default();
+    report.canonical_json()
+}
+
 fn engine_digest(o: &SimOutcome) -> u64 {
     let blob = format!(
         "{}|{:?}|{:?}|{:?}|{:?}|{}|{}",
-        o.report.canonical_json(),
+        semantic_json(&o.report),
         o.records,
         o.queued_series,
         o.running_series,
@@ -94,7 +107,7 @@ fn engine_digest(o: &SimOutcome) -> u64 {
 /// records, telemetry series, and iteration counts, router assignments,
 /// and the scale log.
 fn cluster_digest(o: &ClusterOutcome) -> u64 {
-    let mut blob = o.merged.canonical_json();
+    let mut blob = semantic_json(&o.merged);
     for r in &o.replicas {
         blob.push_str(&format!(
             "|{:?}|{:?}|{:?}|{:?}|{}",
@@ -138,15 +151,17 @@ fn assert_digests(label: &str, measured: &[(String, u64)], pinned: &[(&str, u64)
     }
 }
 
-// These exact digests were also measured against the pre-refactor
-// (O(lifetime) hot path) engine with the same digest definition — and,
-// since the scenario-layer redesign, against spec-built construction:
-// both refactors are behavior-identical down to every telemetry sample.
+// Re-pinned once when `canonical_json` grew the `runtime` counters key
+// (the digest itself normalizes runtime to zeros — see `semantic_json` —
+// but the appended key shifts every blob). Before that re-pin, these
+// digests were also measured against the pre-refactor (O(lifetime) hot
+// path) engine and against spec-built construction: both refactors are
+// behavior-identical down to every telemetry sample.
 const ENGINE_GOLDEN: [(&str, u64); 4] = [
-    ("fcfs", 0x672eeefcdc82094c),
-    ("chunked", 0x05c437d5c791fd4a),
-    ("andes", 0x1a9a08ed2eb2801b),
-    ("tokenflow", 0x602c8eb084b1b08b),
+    ("fcfs", 0x2716d70694c190ac),
+    ("chunked", 0x6dfb30de51935048),
+    ("andes", 0xb7aca820235215e3),
+    ("tokenflow", 0xffccbd11bf06dde3),
 ];
 
 #[test]
@@ -176,10 +191,10 @@ fn router(which: &str) -> Box<dyn Router> {
 // identically (the tie-break backlog term never flips a pick), so their
 // digests legitimately coincide — both are still pinned independently.
 const CLUSTER_GOLDEN: [(&str, u64); 4] = [
-    ("round-robin", 0x93198d9c1139937a),
-    ("least-loaded", 0x2dd2c71205acaa57),
-    ("backlog-aware", 0x2dd2c71205acaa57),
-    ("rate-aware", 0x15abe592a8f44752),
+    ("round-robin", 0x98f9a8e79c347e22),
+    ("least-loaded", 0xd78f7da0eba812d1),
+    ("backlog-aware", 0xd78f7da0eba812d1),
+    ("rate-aware", 0x0ad0b17ea60dc402),
 ];
 
 #[test]
@@ -294,10 +309,10 @@ fn control() -> ControlConfig {
 }
 
 const AUTOSCALE_GOLDEN: [(&str, u64); 4] = [
-    ("reactive", 0x62f3b19549e96b9e),
-    ("predictive-ewma", 0xf078642fadc32a6b),
-    ("scripted", 0x849995dc88f0f26f),
-    ("reactive+tick", 0x4b5f2fc2fc35b859),
+    ("reactive", 0xdc381c31da08dab0),
+    ("predictive-ewma", 0xf076a7f92b578fdd),
+    ("scripted", 0x3ffc829c15b8c861),
+    ("reactive+tick", 0x7cd60ddb6c011339),
 ];
 
 #[test]
