@@ -1,16 +1,33 @@
 //! Runs the full paper reproduction as a bench target, so
 //! `cargo bench --workspace` regenerates every table and figure.
+//!
+//! Positional arguments select experiments by id (`cargo bench --bench
+//! experiments -- fault autoscale`); with none, everything runs.
 
 use std::time::Instant;
 
 fn main() {
-    // Criterion-style filter compatibility: ignore --bench and filters.
+    // Criterion-style filter compatibility: skip flags, treat positional
+    // arguments as experiment-id filters.
+    let ids: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let t0 = Instant::now();
+    let mut ran = 0usize;
     for exp in tokenflow_bench::experiments::all() {
+        if !ids.is_empty() && !ids.iter().any(|id| id == exp.id) {
+            continue;
+        }
+        ran += 1;
         println!("=== {} — {} ===", exp.id, exp.title);
         let start = Instant::now();
         println!("{}", (exp.run)());
         println!("[{} finished in {:.1?}]\n", exp.id, start.elapsed());
     }
-    println!("full reproduction finished in {:.1?}", t0.elapsed());
+    if !ids.is_empty() && ran == 0 {
+        eprintln!("no experiment matches {ids:?}");
+        std::process::exit(1);
+    }
+    println!("{ran} experiment(s) finished in {:.1?}", t0.elapsed());
 }

@@ -10,6 +10,7 @@
 pub mod autoscale;
 pub mod cluster;
 pub mod e2e;
+pub mod fault;
 pub mod fleet;
 pub mod hotpath;
 pub mod kvmem;
@@ -134,6 +135,11 @@ pub fn all() -> Vec<Experiment> {
             id: "autoscale",
             title: "Elastic fleet: replica-seconds vs static-32 at matched QoS",
             run: autoscale::autoscale,
+        },
+        Experiment {
+            id: "fault",
+            title: "Failure recovery: mid-crowd replica crash, retries vs abandons",
+            run: fault::fault,
         },
         Experiment {
             id: "hotpath",

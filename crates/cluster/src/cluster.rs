@@ -1,11 +1,16 @@
 //! The cluster engine: a dynamic replica set on one simulated timeline,
 //! executed as a sequence of arrival-barrier epochs.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
-use tokenflow_control::{ControlConfig, ControlPlane, ScaleEvent, ScalePolicy};
+use tokenflow_control::{
+    ControlConfig, ControlPlane, ReplicaPhase, ScaleEvent, ScaleEventKind, ScalePolicy,
+};
 use tokenflow_core::{Engine, EngineConfig, EngineLoad, SimOutcome};
-use tokenflow_metrics::{FleetStats, RequestMetrics, RunReport, RuntimeCounters};
+use tokenflow_fault::{FaultAction, FaultDriver, FaultPlan, PendingRetry, RetryVerdict};
+use tokenflow_metrics::{
+    FaultStats, FleetStats, RequestMetrics, RunReport, RuntimeCounters, Summary,
+};
 use tokenflow_sched::Scheduler;
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
 use tokenflow_trace::{TraceEvent, TraceEventKind, TraceJournal, TraceSink, TraceSource};
@@ -63,6 +68,31 @@ pub struct ClusterOutcome {
 /// The boxed scheduler factory a cluster keeps so the control plane can
 /// provision replicas mid-run.
 type SchedulerFactory = Box<dyn FnMut() -> Box<dyn Scheduler> + Send>;
+
+/// Coordinator-side fault state: the plan's [`FaultDriver`] plus the
+/// bookkeeping that ties cluster-global request ids to their replica-
+/// local incarnations across retries. Present only when a non-empty
+/// [`FaultPlan`] was installed — the fault-free path never consults it.
+struct FaultRuntime {
+    driver: FaultDriver,
+    /// Replicas that fail-stopped. Their `done` flag is pinned true and
+    /// they are excluded from dispatch forever.
+    crashed: HashSet<usize>,
+    /// Latest incarnation of each global request id, as
+    /// `(replica, local_id)` — where the request's record will be found
+    /// at merge time.
+    latest: HashMap<u64, (usize, u64)>,
+    /// Incarnations a retry superseded: their partial records are
+    /// dropped from the merged report (the re-dispatched incarnation
+    /// carries the request from here).
+    superseded: HashSet<(usize, u64)>,
+    /// Arrivals rejected by shed mode, as `(global, spec)`; each gets a
+    /// synthesized zero-progress record so conservation holds.
+    shed: Vec<(u64, RequestSpec)>,
+    /// Per-replica capacity Γ for shed pressure on static clusters
+    /// (elastic clusters read the control plane's configured Γ).
+    gamma: f64,
+}
 
 /// Drives a dynamic set of engine replicas on one simulated clock behind
 /// a pluggable [`Router`], optionally resized by a
@@ -147,6 +177,17 @@ pub struct ClusterEngine {
     /// Scratch buffer the router writes a traced dispatch's considered
     /// scores into; the buffer moves into the emitted event.
     score_buf: Vec<f64>,
+    /// Fault-injection state, when a non-empty [`FaultPlan`] is
+    /// installed (see [`with_fault_plan`](ClusterEngine::with_fault_plan)).
+    fault: Option<FaultRuntime>,
+    /// Next cluster-global request id. Every admitted *or shed* arrival
+    /// consumes one; retries keep their original id. Equal to
+    /// `assignments.len()` on fault-free runs.
+    next_global: u64,
+    /// Per-replica map from dense local request id to cluster-global id,
+    /// maintained at every submission (including retries, which map
+    /// their new local id back to the original global id).
+    locals: Vec<Vec<RequestId>>,
 }
 
 impl ClusterEngine {
@@ -175,6 +216,7 @@ impl ClusterEngine {
             .collect();
         ClusterEngine {
             done: vec![true; engines.len()],
+            locals: vec![Vec::new(); engines.len()],
             replicas: engines,
             router: Box::new(router),
             scheduler_factory: Box::new(scheduler_factory),
@@ -193,6 +235,8 @@ impl ClusterEngine {
                 TraceSink::disabled()
             },
             score_buf: Vec::new(),
+            fault: None,
+            next_global: 0,
             config,
         }
     }
@@ -225,7 +269,37 @@ impl ClusterEngine {
         if self.config.trace {
             plane.enable_trace();
         }
+        if let Some(fault) = &self.fault {
+            // `with_fault_plan` may run in either order with this call.
+            plane.set_boot_failures(fault.driver.plan().boot_failures.iter().copied());
+        }
         self.plane = Some(plane);
+        self
+    }
+
+    /// Installs a deterministic fault plan: crashes, degradation windows,
+    /// and boot failures become synthetic arrival barriers, and the
+    /// plan's [`RetryPolicy`](tokenflow_fault::RetryPolicy) governs how
+    /// requests lost to crashes are re-queued. An **empty** plan is
+    /// treated exactly like no plan at all, so a fault-free plan cannot
+    /// perturb a single byte of any outcome. Call before running (in any
+    /// order with [`with_autoscaler`](ClusterEngine::with_autoscaler)).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        if plan.is_empty() {
+            return self;
+        }
+        if let Some(plane) = self.plane.as_mut() {
+            plane.set_boot_failures(plan.boot_failures.iter().copied());
+        }
+        let gamma = ControlConfig::for_engine(&self.config).gamma;
+        self.fault = Some(FaultRuntime {
+            driver: FaultDriver::new(plan),
+            crashed: HashSet::new(),
+            latest: HashMap::new(),
+            superseded: HashSet::new(),
+            shed: Vec::new(),
+            gamma,
+        });
         self
     }
 
@@ -293,29 +367,40 @@ impl ClusterEngine {
     }
 
     /// Replicas currently eligible for dispatch: the control plane's
-    /// active set, or every replica on a static cluster.
+    /// active set, or every non-crashed replica on a static cluster
+    /// (an elastic plane already excludes crashed replicas — they are
+    /// [`ReplicaPhase::Failed`]).
     fn active_indices(&self) -> Vec<usize> {
         match &self.plane {
             Some(plane) => plane.active_indices(),
-            None => (0..self.replicas.len()).collect(),
+            None => match &self.fault {
+                Some(f) => (0..self.replicas.len())
+                    .filter(|i| !f.crashed.contains(i))
+                    .collect(),
+                None => (0..self.replicas.len()).collect(),
+            },
         }
     }
 
     /// Runs the control plane's barrier step at `t`: billing, promotion,
     /// retirement, the scale decision over all replicas' snapshots plus
-    /// the arrival group due at `t`, and reconciliation (one fresh engine
-    /// per newly provisioned replica). Coordinator thread only.
-    fn control_barrier(&mut self, t: SimTime) {
+    /// the arrival group due at `t` (and any retries dispatching at this
+    /// barrier — lost capacity re-queueing its residents reads as demand
+    /// pressure, which is how crash recovery feeds the scale policy), and
+    /// reconciliation (one fresh engine per newly provisioned replica).
+    /// Coordinator thread only.
+    fn control_barrier(&mut self, t: SimTime, retries: &[PendingRetry]) {
         let Some(plane) = self.plane.as_mut() else {
             return;
         };
         let loads: Vec<EngineLoad> = self.replicas.iter().map(|e| e.load_snapshot()).collect();
-        let group: Vec<RequestSpec> = self
+        let mut group: Vec<RequestSpec> = self
             .pending
             .iter()
             .take_while(|s| s.arrival <= t)
             .copied()
             .collect();
+        group.extend(retries.iter().map(|r| r.spec));
         // Post-deadline arrivals are still routed (conservation), but
         // the plane must not observe instants the engines can never
         // reach — billing replica-seconds across a frozen fleet would
@@ -331,6 +416,7 @@ impl ClusterEngine {
             engine.set_trace_source(TraceSource::Replica(self.replicas.len() as u32));
             self.replicas.push(engine);
             self.done.push(true);
+            self.locals.push(Vec::new());
         }
     }
 
@@ -348,8 +434,42 @@ impl ClusterEngine {
         let active = self.active_indices();
         let oblivious = self.router.load_oblivious();
         let mut cached: Option<Vec<EngineLoad>> = None;
+        // Pressure-triggered shed mode (fault runs only): evaluated once
+        // per barrier over the active set's declared streaming demand.
+        // When the fleet is saturated past the configured threshold — or
+        // when faults left no active replica at all — first-attempt
+        // arrivals are rejected instead of admitted; retries never pass
+        // through here and always dispatch.
+        let shed = self.fault.as_ref().is_some_and(|f| {
+            if active.is_empty() {
+                return true;
+            }
+            let Some(threshold) = f.driver.plan().shed_utilization else {
+                return false;
+            };
+            let gamma = self.plane.as_ref().map_or(f.gamma, |p| p.config().gamma);
+            let rate: f64 = active
+                .iter()
+                .map(|&i| self.replicas[i].load_snapshot().rate_sum)
+                .sum();
+            rate / (active.len() as f64 * gamma) > threshold
+        });
         while self.pending.front().is_some_and(|s| s.arrival <= t) {
             let spec = self.pending.pop_front().expect("front checked");
+            let global = self.next_global;
+            self.next_global += 1;
+            if shed {
+                let fault = self.fault.as_mut().expect("shed implies fault runtime");
+                fault.driver.on_shed();
+                fault.shed.push((global, spec));
+                self.trace.emit(
+                    spec.arrival,
+                    TraceEventKind::AdmissionShed {
+                        id: RequestId(global),
+                    },
+                );
+                continue;
+            }
             assert!(
                 !active.is_empty(),
                 "no active replica to dispatch to (fleet floor must be >= 1)"
@@ -393,18 +513,26 @@ impl ClusterEngine {
                 // The journal speaks cluster submission order; the event
                 // time is the arrival instant the barrier serves, so the
                 // journal is invariant to *when* the coordinator ran it.
-                let id = RequestId(self.assignments.len() as u64);
                 let scores = std::mem::take(&mut self.score_buf);
                 self.trace.emit(
                     spec.arrival,
                     TraceEventKind::Dispatch {
-                        id,
+                        id: RequestId(global),
                         replica: replica as u32,
                         scores,
                     },
                 );
             }
             let local_id = self.replicas[replica].submit(spec);
+            debug_assert_eq!(
+                local_id.0 as usize,
+                self.locals[replica].len(),
+                "engines assign dense local ids in submission order"
+            );
+            self.locals[replica].push(RequestId(global));
+            if let Some(fault) = self.fault.as_mut() {
+                fault.latest.insert(global, (replica, local_id.0));
+            }
             self.assignments.push(Assignment { replica, local_id });
             self.done[replica] = false;
         }
@@ -418,7 +546,11 @@ impl ClusterEngine {
     /// stays the untouched reference semantics the equivalence suites
     /// differentially test batching against.
     fn spans_barriers(&self) -> bool {
+        // Fault runs never span: a coalesced barrier could jump past a
+        // scheduled fault or retry instant, and shed-mode admission reads
+        // live load snapshots the span would make stale.
         self.plane.is_none()
+            && self.fault.is_none()
             && matches!(self.execution, Execution::Parallel(_))
             && self.router.load_oblivious()
     }
@@ -490,6 +622,8 @@ impl ClusterEngine {
             }
             for pick in picks {
                 let spec = self.pending.pop_front().expect("group counted");
+                let global = self.next_global;
+                self.next_global += 1;
                 if self.trace.is_enabled() {
                     // Identical to the event `dispatch_due` would emit at
                     // the real barrier: same arrival stamp, same empty
@@ -499,13 +633,14 @@ impl ClusterEngine {
                     self.trace.emit(
                         spec.arrival,
                         TraceEventKind::Dispatch {
-                            id: RequestId(self.assignments.len() as u64),
+                            id: RequestId(global),
                             replica: pick as u32,
                             scores: Vec::new(),
                         },
                     );
                 }
                 let local_id = self.replicas[pick].submit(spec);
+                self.locals[pick].push(RequestId(global));
                 self.assignments.push(Assignment {
                     replica: pick,
                     local_id,
@@ -513,6 +648,199 @@ impl ClusterEngine {
                 self.done[pick] = false;
             }
             self.batched_barriers += 1;
+        }
+    }
+
+    /// Applies every fault action due at or before `t`, on the
+    /// coordinator thread with all replica clocks at (not beyond) the
+    /// barrier — the same contract arrival barriers have, which is what
+    /// keeps fault injection byte-invariant across epoch executors.
+    fn apply_due_faults(&mut self, t: SimTime) {
+        let actions = match self.fault.as_mut() {
+            Some(f) => f.driver.due_actions(t),
+            None => return,
+        };
+        for (_, action) in actions {
+            match action {
+                FaultAction::Crash { replica } => self.crash_replica(t, replica),
+                FaultAction::SetCompute { replica, slowdown } => {
+                    if replica < self.replicas.len() && self.alive(replica) {
+                        self.replicas[replica].set_compute_slowdown(slowdown);
+                        self.trace.emit(
+                            t,
+                            TraceEventKind::ReplicaDegraded {
+                                replica: replica as u32,
+                                factor: 1.0 / slowdown,
+                            },
+                        );
+                    }
+                }
+                FaultAction::SetLink { replica, slowdown } => {
+                    if replica < self.replicas.len() && self.alive(replica) {
+                        self.replicas[replica].set_link_slowdown(slowdown);
+                        self.trace.emit(
+                            t,
+                            TraceEventKind::LinkDegraded {
+                                replica: replica as u32,
+                                factor: 1.0 / slowdown,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a replica can still be the target of a fault action: it
+    /// has not crashed, and an elastic plane has not already moved it
+    /// permanently out of the fleet.
+    fn alive(&self, replica: usize) -> bool {
+        if self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed.contains(&replica))
+        {
+            return false;
+        }
+        self.plane.as_ref().is_none_or(|p| {
+            !matches!(
+                p.phases()[replica],
+                ReplicaPhase::Retired | ReplicaPhase::Failed
+            )
+        })
+    }
+
+    /// Fail-stops one replica at barrier instant `t`: every resident
+    /// request (any phase short of finished) is lost along with its KV,
+    /// the replica leaves the fleet permanently, and each lost request is
+    /// charged one attempt against the retry policy — re-queued at a
+    /// deterministic backoff or abandoned.
+    fn crash_replica(&mut self, t: SimTime, replica: usize) {
+        // A crash scheduled for a replica index the fleet never reached,
+        // or one already out of the fleet, is a deterministic no-op.
+        if replica >= self.replicas.len() || !self.alive(replica) {
+            return;
+        }
+        let lost = self.replicas[replica].unfinished_requests();
+        self.trace.emit(
+            t,
+            TraceEventKind::ReplicaCrashed {
+                replica: replica as u32,
+                lost: lost.len() as u64,
+            },
+        );
+        {
+            let fault = self.fault.as_mut().expect("crash implies fault runtime");
+            fault.crashed.insert(replica);
+            fault.driver.tally.crashes += 1;
+        }
+        for local in lost {
+            let global = self.locals[replica][local.id.0 as usize].0;
+            self.trace.emit(
+                t,
+                TraceEventKind::RequestLost {
+                    id: RequestId(global),
+                    replica: replica as u32,
+                },
+            );
+            let fault = self.fault.as_mut().expect("crash implies fault runtime");
+            match fault.driver.on_lost(global, local, t) {
+                RetryVerdict::Retry { attempt, .. } => {
+                    self.trace.emit(
+                        t,
+                        TraceEventKind::RetryScheduled {
+                            id: RequestId(global),
+                            attempt,
+                        },
+                    );
+                }
+                RetryVerdict::Abandon { attempts } => {
+                    self.trace.emit(
+                        t,
+                        TraceEventKind::RequestAbandoned {
+                            id: RequestId(global),
+                            attempts,
+                        },
+                    );
+                }
+            }
+        }
+        // The dead engine never steps again; its partial records are
+        // resolved at merge time (superseded by a retry, or kept as the
+        // abandoned request's final state).
+        self.done[replica] = true;
+        if let Some(plane) = self.plane.as_mut() {
+            plane.mark_failed(t, replica);
+        }
+    }
+
+    /// Re-dispatches every drained retry at barrier instant `t` through
+    /// the router, over the live active set. Retries keep their original
+    /// arrival time (TTFT honestly includes the disruption) and their
+    /// original cluster-global id — the new replica-local incarnation
+    /// maps back to it, superseding the lost one. A retry that finds no
+    /// dispatchable replica burns one more attempt and backs off again
+    /// (or is abandoned): deterministic and stall-free.
+    fn dispatch_retries(&mut self, t: SimTime, retries: Vec<PendingRetry>) {
+        if retries.is_empty() {
+            return;
+        }
+        let active = self.active_indices();
+        for retry in retries {
+            if active.is_empty() {
+                let fault = self.fault.as_mut().expect("retries imply fault runtime");
+                match fault.driver.on_undispatchable(retry, t) {
+                    RetryVerdict::Retry { attempt, .. } => {
+                        self.trace.emit(
+                            t,
+                            TraceEventKind::RetryScheduled {
+                                id: RequestId(retry.global),
+                                attempt,
+                            },
+                        );
+                    }
+                    RetryVerdict::Abandon { attempts } => {
+                        self.trace.emit(
+                            t,
+                            TraceEventKind::RequestAbandoned {
+                                id: RequestId(retry.global),
+                                attempts,
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+            let loads: Vec<EngineLoad> = active
+                .iter()
+                .map(|&i| self.replicas[i].load_snapshot())
+                .collect();
+            let pick = if self.trace.is_enabled() {
+                self.router
+                    .route_scored(&retry.spec, &loads, &mut self.score_buf)
+            } else {
+                self.router.route(&retry.spec, &loads)
+            };
+            assert!(pick < active.len(), "router index out of range");
+            let replica = active[pick];
+            if self.trace.is_enabled() {
+                let scores = std::mem::take(&mut self.score_buf);
+                self.trace.emit(
+                    t,
+                    TraceEventKind::Dispatch {
+                        id: RequestId(retry.global),
+                        replica: replica as u32,
+                        scores,
+                    },
+                );
+            }
+            let local_id = self.replicas[replica].submit(retry.spec);
+            self.locals[replica].push(RequestId(retry.global));
+            let fault = self.fault.as_mut().expect("retries imply fault runtime");
+            if let Some(prev) = fault.latest.insert(retry.global, (replica, local_id.0)) {
+                fault.superseded.insert(prev);
+            }
+            self.done[replica] = false;
         }
     }
 
@@ -525,7 +853,11 @@ impl ClusterEngine {
     /// or every busy replica has reached the deadline.
     pub fn epoch(&mut self) -> bool {
         let deadline = SimTime::ZERO + self.config.deadline;
-        if self.pending.is_empty() && self.done.iter().all(|&d| d) {
+        let retries_pending = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.driver.has_pending_retries());
+        if self.pending.is_empty() && self.done.iter().all(|&d| d) && !retries_pending {
             return false;
         }
         let next_arrival = self.pending.front().map(|s| s.arrival);
@@ -539,23 +871,43 @@ impl ClusterEngine {
         // cannot reach those instants, and a tick that kept preempting a
         // post-deadline arrival barrier would stall the epoch loop.
         let due_tick = self.next_tick.filter(|&t| t < deadline);
-        let tick_due = match (due_tick, next_arrival) {
-            (Some(tick), Some(arrival)) => tick < arrival,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if tick_due {
-            self.control_barrier(due_tick.expect("tick_due checked"));
-        } else if let Some(arrival) = next_arrival {
-            // Arrivals at or past the safety deadline are still routed:
-            // conservation ("every submitted request lands on exactly one
-            // replica") holds on incomplete runs too, and the unreachable
-            // requests materialise as unfinished records — exactly what a
-            // single engine reports for work the cut-off strands.
-            self.control_barrier(arrival);
-            self.dispatch_due(arrival);
-            if self.spans_barriers() {
-                self.extend_span(deadline);
+        // Scheduled fault actions are synthetic barriers exactly like
+        // control ticks (and equally unreachable at or past the
+        // deadline). Retry barriers are *not* deadline-filtered: like
+        // post-deadline arrivals, a post-deadline retry still dispatches
+        // so the request strands on a replica as an unfinished record
+        // instead of hanging invisibly in the retry queue.
+        let fault_at = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.driver.next_action_time())
+            .filter(|&t| t < deadline);
+        let retry_at = self.fault.as_ref().and_then(|f| f.driver.next_retry_due());
+        // The epoch's barrier is the earliest due instant of any kind;
+        // fault-free this reduces to the classic tick-vs-arrival choice.
+        let barrier = [next_arrival, due_tick, fault_at, retry_at]
+            .into_iter()
+            .flatten()
+            .min();
+        if let Some(t) = barrier {
+            self.apply_due_faults(t);
+            let retries = match self.fault.as_mut() {
+                Some(f) => f.driver.due_retries(t),
+                None => Vec::new(),
+            };
+            self.control_barrier(t, &retries);
+            self.dispatch_retries(t, retries);
+            if next_arrival == Some(t) {
+                // Arrivals at or past the safety deadline are still
+                // routed: conservation ("every submitted request lands on
+                // exactly one replica") holds on incomplete runs too, and
+                // the unreachable requests materialise as unfinished
+                // records — exactly what a single engine reports for work
+                // the cut-off strands.
+                self.dispatch_due(t);
+                if self.spans_barriers() {
+                    self.extend_span(deadline);
+                }
             }
         }
         let mut until = self
@@ -570,6 +922,16 @@ impl ClusterEngine {
             // barriers have.
             until = until.min(tick);
         }
+        if let Some(fault) = &self.fault {
+            // Same contract for fault and retry barriers: replicas stop
+            // short, so faults apply with every clock at the barrier.
+            if let Some(t) = fault.driver.next_action_time() {
+                until = until.min(t);
+            }
+            if let Some(t) = fault.driver.next_retry_due() {
+                until = until.min(t);
+            }
+        }
         executor::advance_until(
             &mut self.replicas,
             &mut self.done,
@@ -578,9 +940,14 @@ impl ClusterEngine {
             &mut self.pool,
         );
         self.epochs += 1;
-        // Another epoch can make progress while arrivals remain or some
-        // busy replica still sits short of the deadline.
+        // Another epoch can make progress while arrivals remain, a retry
+        // is waiting for its backoff, or some busy replica still sits
+        // short of the deadline.
         !self.pending.is_empty()
+            || self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.driver.has_pending_retries())
             || self
                 .replicas
                 .iter()
@@ -636,20 +1003,54 @@ impl ClusterEngine {
         }
         let router = self.router.name().to_string();
         let policy = self.plane.as_ref().map(|p| p.policy_name().to_string());
-        let complete = self.pending.is_empty();
+        let complete = self.pending.is_empty()
+            && self
+                .fault
+                .as_ref()
+                .is_none_or(|f| !f.driver.has_pending_retries());
         let replica_total = self.replicas.len();
         let replicas: Vec<SimOutcome> = self
             .replicas
             .into_iter()
             .map(|e| e.into_outcome())
             .collect();
-        let complete = complete && replicas.iter().all(|o| o.complete);
+        // A crashed replica is never complete (its residents were lost),
+        // but the run still is: every lost request reached a terminal
+        // state elsewhere — recovered on a live replica or abandoned.
+        let complete = complete
+            && replicas.iter().enumerate().all(|(i, o)| {
+                o.complete || self.fault.as_ref().is_some_and(|f| f.crashed.contains(&i))
+            });
         // Exact merge: recompute the run report from every replica's
-        // per-request records over the cluster's full timeline.
-        let all_records: Vec<RequestMetrics> = replicas
-            .iter()
-            .flat_map(|o| o.records.iter().cloned())
-            .collect();
+        // per-request records over the cluster's full timeline. Under a
+        // fault plan each request contributes exactly one record: its
+        // latest incarnation (superseded ones are dropped), or a
+        // synthesized zero-progress record for shed arrivals.
+        let all_records: Vec<RequestMetrics> = match &self.fault {
+            None => replicas
+                .iter()
+                .flat_map(|o| o.records.iter().cloned())
+                .collect(),
+            Some(fault) => {
+                let mut records: Vec<RequestMetrics> = Vec::new();
+                for (r, outcome) in replicas.iter().enumerate() {
+                    for rec in &outcome.records {
+                        if !fault.superseded.contains(&(r, rec.id.0)) {
+                            records.push(rec.clone());
+                        }
+                    }
+                }
+                for (global, spec) in &fault.shed {
+                    records.push(RequestMetrics::new(
+                        RequestId(*global),
+                        spec.arrival,
+                        spec.rate,
+                        spec.output_tokens,
+                    ));
+                }
+                records
+            }
+        };
         let duration = replicas
             .iter()
             .map(|o| o.sim_time)
@@ -665,22 +1066,15 @@ impl ClusterEngine {
         merged.runtime.pool_workers = exec_stats.pool_workers as u64;
         merged.runtime.pool_submissions = exec_stats.pool_submissions;
         // Merge the decision journals onto one timeline, rewriting each
-        // replica's dense local request ids to cluster submission order
-        // (the ids the coordinator's dispatch events already speak).
+        // replica's dense local request ids to cluster-global ids (the
+        // ids the coordinator's dispatch events already speak). The
+        // `locals` tables are maintained at submission time, so a retried
+        // request's every incarnation maps back to its original id.
         let trace = if traced {
-            let mut locals: Vec<Vec<RequestId>> = vec![Vec::new(); replica_total];
-            for (global, a) in self.assignments.iter().enumerate() {
-                debug_assert_eq!(
-                    a.local_id.0 as usize,
-                    locals[a.replica].len(),
-                    "engines assign dense local ids in submission order"
-                );
-                locals[a.replica].push(RequestId(global as u64));
-            }
             for (r, outcome) in replicas.iter().enumerate() {
                 if let Some(journal) = &outcome.trace {
                     let mut journal = journal.clone();
-                    let table = &locals[r];
+                    let table = &self.locals[r];
                     journal.map_ids(|_, id| table[id.0 as usize]);
                     trace_parts.push(journal.events);
                 }
@@ -703,6 +1097,43 @@ impl ClusterEngine {
                 (None, Vec::new())
             }
         };
+        if let Some(fault) = &self.fault {
+            let tally = fault.driver.tally;
+            let mut stats = FaultStats {
+                crashes: tally.crashes,
+                boot_failures: scale_events
+                    .iter()
+                    .filter(|e| matches!(e.kind, ScaleEventKind::BootFailed))
+                    .count() as u64,
+                lost_events: tally.lost_events,
+                recovered: 0,
+                abandoned: tally.abandoned,
+                shed: tally.shed,
+                retry_attempts: Vec::new(),
+                recovery_latency: Summary::default(),
+            };
+            let mut latencies = Vec::new();
+            for (global, attempts, first_lost) in fault.driver.lost_requests() {
+                let slot = attempts as usize - 1;
+                if stats.retry_attempts.len() <= slot {
+                    stats.retry_attempts.resize(slot + 1, 0);
+                }
+                stats.retry_attempts[slot] += 1;
+                // Recovered = lost at least once, finished anyway: the
+                // latest incarnation's record has a completion time.
+                let (r, local) = fault.latest[&global];
+                if let Some(done_at) = replicas[r]
+                    .records
+                    .get(local as usize)
+                    .and_then(|rec| rec.finished_at)
+                {
+                    stats.recovered += 1;
+                    latencies.push(done_at.saturating_since(first_lost).as_secs_f64());
+                }
+            }
+            stats.recovery_latency = Summary::of(&latencies);
+            merged.faults = Some(stats);
+        }
         ClusterOutcome {
             replicas,
             merged,
@@ -770,6 +1201,56 @@ pub fn run_cluster_with(
 /// synthetic barriers at that interval keep the plane observing (and
 /// retiring drained replicas) through arrival gaps. The execution
 /// strategy never changes results — scale decisions included.
+/// [`run_cluster_with`] under a deterministic [`FaultPlan`]: replica
+/// crashes, stragglers, and KV-link faults fire at barrier-aligned
+/// instants, and lost requests recover through the plan's retry policy.
+/// An empty plan reproduces [`run_cluster_with`] byte for byte. The
+/// execution strategy never changes results — faults and recovery
+/// included.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_faulty(
+    config: EngineConfig,
+    replicas: usize,
+    router: impl Router + 'static,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler> + Send + 'static,
+    plan: FaultPlan,
+    workload: &Workload,
+    execution: Execution,
+) -> ClusterOutcome {
+    let mut cluster = ClusterEngine::new(config, replicas, router, scheduler_factory)
+        .with_fault_plan(plan)
+        .with_execution(execution);
+    cluster.submit_workload(workload);
+    cluster.run_to_completion();
+    cluster.into_outcome()
+}
+
+/// [`run_autoscaled`] under a deterministic [`FaultPlan`]. Crashed
+/// capacity reads as demand pressure at the next barrier (the re-queued
+/// residents join the plane's arrival group), so crash-aware scale
+/// policies see losses without any side channel. An empty plan
+/// reproduces [`run_autoscaled`] byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_autoscaled_faulty(
+    config: EngineConfig,
+    bootstrap: usize,
+    router: impl Router + 'static,
+    scheduler_factory: impl FnMut() -> Box<dyn Scheduler> + Send + 'static,
+    policy: impl ScalePolicy + 'static,
+    control: ControlConfig,
+    plan: FaultPlan,
+    workload: &Workload,
+    execution: Execution,
+) -> ClusterOutcome {
+    let mut cluster = ClusterEngine::new(config, bootstrap, router, scheduler_factory)
+        .with_autoscaler(policy, control)
+        .with_fault_plan(plan)
+        .with_execution(execution);
+    cluster.submit_workload(workload);
+    cluster.run_to_completion();
+    cluster.into_outcome()
+}
+
 #[allow(clippy::too_many_arguments)]
 pub fn run_autoscaled(
     config: EngineConfig,

@@ -56,7 +56,8 @@ pub mod pool;
 pub mod router;
 
 pub use cluster::{
-    run_autoscaled, run_cluster, run_cluster_with, Assignment, ClusterEngine, ClusterOutcome,
+    run_autoscaled, run_autoscaled_faulty, run_cluster, run_cluster_faulty, run_cluster_with,
+    Assignment, ClusterEngine, ClusterOutcome,
 };
 pub use executor::{Execution, ExecutorStats};
 pub use pool::WorkerPool;

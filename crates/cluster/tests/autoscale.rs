@@ -10,11 +10,14 @@
 //! matter most: a draining replica never receives a dispatch, and a
 //! provisioning replica receives nothing before its boot delay elapses.
 
-use tokenflow_cluster::{run_autoscaled, ClusterOutcome, Execution, LeastLoadedRouter};
+use tokenflow_cluster::{
+    run_autoscaled, run_autoscaled_faulty, ClusterOutcome, Execution, LeastLoadedRouter,
+};
 use tokenflow_control::{
     ControlConfig, PredictivePolicy, ReactivePolicy, ScaleEventKind, ScalePolicy, ScriptedPolicy,
 };
 use tokenflow_core::EngineConfig;
+use tokenflow_fault::{CrashFault, FaultPlan};
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sched::TokenFlowScheduler;
 use tokenflow_sim::{RequestId, SimDuration, SimTime};
@@ -394,6 +397,98 @@ fn control_tick_retires_idle_drain_within_one_tick() {
         Execution::parallel(2),
     );
     assert_byte_identical(&ticked, &ticked_par, "control tick vs parallel(2)");
+}
+
+#[test]
+fn crashed_draining_replica_retires_immediately_and_residents_recover() {
+    // Three replicas share a burst of long streams; the script drains
+    // down to one at t=2 s, so replicas 1 and 2 spend a long time in
+    // Draining with residents. Replica 2 then crashes mid-drain at
+    // t=5 s. The regression this pins: a crash must end the drain *now*
+    // — the replica leaves the fleet (Failed, never Retired) and stops
+    // billing at the crash barrier — and its residents must re-queue
+    // through the recovery path instead of pinning the drain forever.
+    let specs: Vec<RequestSpec> = (0..9)
+        .map(|i| RequestSpec {
+            id: RequestId(0),
+            arrival: SimTime::from_millis(i * 100),
+            prompt_tokens: 128,
+            output_tokens: 400,
+            rate: 10.0,
+        })
+        .collect();
+    let w = Workload::new(specs);
+    let crash_at = SimTime::from_secs(5);
+    let plan = FaultPlan {
+        crashes: vec![CrashFault {
+            replica: 2,
+            at: crash_at,
+        }],
+        ..FaultPlan::default()
+    };
+    let out = run_autoscaled_faulty(
+        config(),
+        3,
+        LeastLoadedRouter::new(),
+        || Box::new(TokenFlowScheduler::new()),
+        ScriptedPolicy::new(vec![(SimTime::from_secs(2), 1)]),
+        control(300.0)
+            .with_max_replicas(3)
+            .with_control_tick(SimDuration::from_secs(1)),
+        plan,
+        &w,
+        Execution::Sequential,
+    );
+    assert!(out.complete, "recovery must finish the run");
+    let events_for = |replica: usize| -> Vec<ScaleEventKind> {
+        out.scale_events
+            .iter()
+            .filter(|e| e.replica == replica)
+            .map(|e| e.kind)
+            .collect()
+    };
+    // Replica 2 was draining when it crashed: DrainStarted precedes
+    // Crashed, and it never reaches Retired (the drain did not linger).
+    let r2 = events_for(2);
+    assert!(
+        r2.contains(&ScaleEventKind::DrainStarted),
+        "replica 2 should have been draining: {r2:?}"
+    );
+    assert!(
+        r2.contains(&ScaleEventKind::Crashed),
+        "replica 2 should crash mid-drain: {r2:?}"
+    );
+    assert!(
+        !r2.contains(&ScaleEventKind::Retired),
+        "a crashed drain must not also retire: {r2:?}"
+    );
+    let crashed_at = out
+        .scale_events
+        .iter()
+        .find(|e| e.kind == ScaleEventKind::Crashed)
+        .expect("crash event logged")
+        .at;
+    assert_eq!(crashed_at, crash_at, "crash lands at its barrier instant");
+    // The healthy drain (replica 1) still retires normally.
+    assert!(
+        events_for(1).contains(&ScaleEventKind::Retired),
+        "healthy drain must still retire: {:?}",
+        events_for(1)
+    );
+    // Every resident lost to the crash recovered on the survivor.
+    let faults = out.merged.faults.as_ref().expect("fault stats present");
+    assert_eq!(faults.crashes, 1);
+    assert!(faults.lost_events > 0, "a draining replica held residents");
+    assert_eq!(faults.abandoned, 0);
+    assert_eq!(faults.recovered, faults.lost_events);
+    assert_eq!(out.merged.completed, w.len());
+    // Billing stopped at the crash: the fleet integral is strictly below
+    // what three replicas over the whole run would cost.
+    let fleet = out.fleet.as_ref().expect("elastic run carries fleet stats");
+    assert!(
+        fleet.replica_seconds < 3.0 * out.merged.duration.as_secs_f64(),
+        "crashed replica must stop billing at the crash barrier"
+    );
 }
 
 #[test]

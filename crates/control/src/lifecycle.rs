@@ -41,6 +41,11 @@ pub enum ReplicaPhase {
     Draining,
     /// Empty and permanently decommissioned.
     Retired,
+    /// Fail-stopped (crash or boot failure): permanently out of the
+    /// fleet, like [`ReplicaPhase::Retired`], but its resident requests
+    /// were *lost*, not completed — the cluster's recovery path re-queues
+    /// them. Only fault-injected runs ever reach this phase.
+    Failed,
 }
 
 impl ReplicaPhase {
@@ -50,9 +55,11 @@ impl ReplicaPhase {
     }
 
     /// True while the replica costs replica-seconds (everything but
-    /// [`ReplicaPhase::Retired`] — booting machines bill too).
+    /// [`ReplicaPhase::Retired`] and [`ReplicaPhase::Failed`] — booting
+    /// machines bill too; a crashed machine stops billing at the barrier
+    /// that observes the crash).
     pub fn is_billable(self) -> bool {
-        self != ReplicaPhase::Retired
+        !matches!(self, ReplicaPhase::Retired | ReplicaPhase::Failed)
     }
 
     /// Short name for reports and event logs.
@@ -62,6 +69,7 @@ impl ReplicaPhase {
             ReplicaPhase::Active => "active",
             ReplicaPhase::Draining => "draining",
             ReplicaPhase::Retired => "retired",
+            ReplicaPhase::Failed => "failed",
         }
     }
 }
@@ -83,6 +91,12 @@ pub enum ScaleEventKind {
     Reactivated,
     /// A draining replica emptied and left the fleet for good.
     Retired,
+    /// A replica fail-stopped mid-run; its resident requests were lost
+    /// to the recovery path. Only fault-injected runs record this.
+    Crashed,
+    /// A provisioning replica failed to boot and went straight to
+    /// [`ReplicaPhase::Failed`]. Only fault-injected runs record this.
+    BootFailed,
 }
 
 /// One entry of the control plane's decision log. The log is part of the
@@ -107,6 +121,7 @@ mod tests {
         assert!(ReplicaPhase::Active.accepts_dispatch());
         assert!(!ReplicaPhase::Draining.accepts_dispatch());
         assert!(!ReplicaPhase::Retired.accepts_dispatch());
+        assert!(!ReplicaPhase::Failed.accepts_dispatch());
         assert!(!ReplicaPhase::Provisioning {
             ready_at: SimTime::ZERO
         }
@@ -122,11 +137,13 @@ mod tests {
         assert!(ReplicaPhase::Active.is_billable());
         assert!(ReplicaPhase::Draining.is_billable());
         assert!(!ReplicaPhase::Retired.is_billable());
+        assert!(!ReplicaPhase::Failed.is_billable());
     }
 
     #[test]
     fn phase_names_are_stable() {
         assert_eq!(ReplicaPhase::Active.name(), "active");
         assert_eq!(ReplicaPhase::Retired.name(), "retired");
+        assert_eq!(ReplicaPhase::Failed.name(), "failed");
     }
 }

@@ -151,6 +151,10 @@ pub struct ControlPlane {
     policy: Box<dyn ScalePolicy>,
     config: ControlConfig,
     phases: Vec<ReplicaPhase>,
+    /// Replica indices that fail to boot: when their boot delay elapses
+    /// they move to [`ReplicaPhase::Failed`] instead of activating.
+    /// Empty outside fault-injected runs.
+    boot_failures: Vec<usize>,
     last_scale_at: Option<SimTime>,
     last_billed_at: SimTime,
     stats: FleetStats,
@@ -198,6 +202,7 @@ impl ControlPlane {
             policy: Box::new(policy),
             config,
             phases: vec![ReplicaPhase::Active; bootstrap],
+            boot_failures: Vec::new(),
             last_scale_at: None,
             last_billed_at: SimTime::ZERO,
             stats,
@@ -292,12 +297,19 @@ impl ControlPlane {
         // 1. Bill the elapsed interval under the old phase set.
         self.bill_to(now);
 
-        // 2. Promote provisioning replicas whose boot delay elapsed.
+        // 2. Promote provisioning replicas whose boot delay elapsed —
+        //    unless fault injection scripted the boot to fail, in which
+        //    case the replica fail-stops instead of activating.
         for i in 0..self.phases.len() {
             if let ReplicaPhase::Provisioning { ready_at } = self.phases[i] {
                 if ready_at <= now {
-                    self.phases[i] = ReplicaPhase::Active;
-                    self.record(now, i, ScaleEventKind::Activated);
+                    if self.boot_failures.contains(&i) {
+                        self.phases[i] = ReplicaPhase::Failed;
+                        self.record(now, i, ScaleEventKind::BootFailed);
+                    } else {
+                        self.phases[i] = ReplicaPhase::Active;
+                        self.record(now, i, ScaleEventKind::Activated);
+                    }
                 }
             }
         }
@@ -411,6 +423,34 @@ impl ControlPlane {
         if changed {
             self.last_scale_at = Some(now);
         }
+    }
+
+    /// Marks replica indices that will fail to boot: when their boot
+    /// delay elapses they move to [`ReplicaPhase::Failed`] (with a
+    /// [`ScaleEventKind::BootFailed`] event) instead of activating.
+    /// Indices the fleet never grows to are simply never hit.
+    pub fn set_boot_failures(&mut self, indices: impl IntoIterator<Item = usize>) {
+        self.boot_failures.extend(indices);
+    }
+
+    /// Fail-stops replica `replica` at `now`: bills the elapsed interval
+    /// under the old phase set first (the machine was alive — and
+    /// billing — until this very instant), then moves it to
+    /// [`ReplicaPhase::Failed`] and records a
+    /// [`ScaleEventKind::Crashed`] event. Failed replicas stop billing,
+    /// never dispatch, and never return; the cluster's recovery path
+    /// owns the requests they lost. A replica already out of the fleet
+    /// (retired or failed) is left untouched.
+    pub fn mark_failed(&mut self, now: SimTime, replica: usize) {
+        if matches!(
+            self.phases[replica],
+            ReplicaPhase::Retired | ReplicaPhase::Failed
+        ) {
+            return;
+        }
+        self.bill_to(now);
+        self.phases[replica] = ReplicaPhase::Failed;
+        self.record(now, replica, ScaleEventKind::Crashed);
     }
 
     /// A lifecycle-only barrier for the run's end: bills the final

@@ -146,6 +146,12 @@ pub struct Engine {
     kv_events: Vec<tokenflow_kv::KvEvent>,
     /// Fast-path counters.
     fast_stats: FastPathStats,
+    /// Compute slowdown multiplier on iteration times (`1.0` = healthy).
+    /// Fault injection sets it over a straggler window; while it is not
+    /// `1.0` the plan-horizon fast path stays disarmed, so degraded
+    /// replicas run the full pipeline and healthy replicas keep the
+    /// zero-alloc fast path untouched.
+    slowdown: f64,
     /// Decision-event journal sink; a no-op unless
     /// [`EngineConfig::trace`] is set.
     trace: TraceSink,
@@ -208,6 +214,7 @@ impl Engine {
             running_ctx_idx: Vec::new(),
             kv_events: Vec::new(),
             fast_stats: FastPathStats::default(),
+            slowdown: 1.0,
             trace: if config.trace {
                 TraceSink::enabled(TraceSource::Replica(0))
             } else {
@@ -473,8 +480,11 @@ impl Engine {
             return self.idle_step(outcome);
         }
 
-        // Price the iteration.
-        let (spec, iter_time) = batch::price(&self.iter_batch, &self.st, &self.cost);
+        // Price the iteration; a straggler window stretches it.
+        let (spec, mut iter_time) = batch::price(&self.iter_batch, &self.st, &self.cost);
+        if self.slowdown != 1.0 {
+            iter_time = iter_time.mul_f64(self.slowdown);
+        }
 
         // Stage 2 (in-compute): pump a compute-window's worth of
         // write-through sync, then advance time — transfers progress
@@ -541,6 +551,7 @@ impl Engine {
         // certifies how long its plan stays a no-op.
         self.horizon = None;
         if self.config.plan_horizon
+            && self.slowdown == 1.0
             && fits_clean
             && self.st.decision_epoch == epoch_at_plan
             && self.st.prefill_queue.is_empty()
@@ -736,7 +747,10 @@ impl Engine {
     /// Byte-identical to the full pipeline under the horizon's
     /// certificate, just without re-deriving the identical decisions.
     fn fast_step(&mut self, now: SimTime, outcome: &mut StepOutcome) {
-        let (spec, iter_time) = batch::price(&self.iter_batch, &self.st, &self.cost);
+        let (spec, mut iter_time) = batch::price(&self.iter_batch, &self.st, &self.cost);
+        if self.slowdown != 1.0 {
+            iter_time = iter_time.mul_f64(self.slowdown);
+        }
         debug_assert_eq!(spec.prefill_tokens, 0);
         kv_orchestrator::pump_write_through(
             &mut self.st,
@@ -851,6 +865,47 @@ impl Engine {
                 return Completion::IterationCap;
             }
         }
+    }
+
+    /// Sets the compute slowdown multiplier (`1.0` restores full speed).
+    /// Iteration times are stretched by the factor from the next step on.
+    /// Any armed plan horizon is dropped and re-arming is suppressed
+    /// while degraded, so straggler windows run the full pipeline and the
+    /// fast path stays exclusive to healthy replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slowdown` is finite and at least `1.0`.
+    pub fn set_compute_slowdown(&mut self, slowdown: f64) {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "compute slowdown must be finite and >= 1.0"
+        );
+        if slowdown != 1.0 {
+            self.horizon = None;
+        }
+        self.slowdown = slowdown;
+    }
+
+    /// Sets the host-link slowdown multiplier (`1.0` restores nominal
+    /// bandwidth). Only KV transfers enqueued after the call are
+    /// affected; in-flight chunks keep their enqueue-time completion, so
+    /// applying it at an arrival barrier is deterministic.
+    pub fn set_link_slowdown(&mut self, slowdown: f64) {
+        self.kv.set_link_slowdown(slowdown);
+    }
+
+    /// Specs of every submitted-but-unfinished request, in id order —
+    /// exactly what a fail-stop at this instant loses (resident KV and
+    /// in-flight streams included). The specs carry this replica's dense
+    /// local ids; callers owning an id mapping translate them back.
+    pub fn unfinished_requests(&self) -> Vec<RequestSpec> {
+        self.st
+            .requests
+            .iter()
+            .filter(|s| s.phase != Phase::Finished)
+            .map(|s| s.spec)
+            .collect()
     }
 
     /// Plan-horizon fast-path counters accumulated so far.

@@ -302,6 +302,12 @@ impl KvManager {
         &self.pcie
     }
 
+    /// Sets the host-link slowdown multiplier (`1.0` restores nominal
+    /// speed); see [`PcieEngine::set_slowdown`] for semantics.
+    pub fn set_link_slowdown(&mut self, slowdown: f64) {
+        self.pcie.set_slowdown(slowdown);
+    }
+
     /// Where `req`'s KV currently lives.
     pub fn residency(&self, req: RequestId) -> Residency {
         self.req_state(req)

@@ -128,6 +128,11 @@ pub struct PcieEngine {
     bandwidth: f64,
     /// Fixed setup latency per transfer.
     latency: SimDuration,
+    /// Multiplier on transfer durations (`1.0` = nominal). Fault
+    /// injection raises it over a link-fault window; completions already
+    /// assigned keep their enqueue-time duration, so changing it at an
+    /// arrival barrier is deterministic.
+    slowdown: f64,
     h2d: Stream,
     d2h: Stream,
     /// When set, the two directions share one serialized channel — the
@@ -148,6 +153,7 @@ impl PcieEngine {
         PcieEngine {
             bandwidth,
             latency: SimDuration::from_micros(latency_us),
+            slowdown: 1.0,
             h2d: Stream::new(),
             d2h: Stream::new(),
             half_duplex: false,
@@ -178,7 +184,22 @@ impl PcieEngine {
 
     /// Pure transfer duration for `bytes` (setup latency included).
     pub fn transfer_time(&self, bytes: u64) -> SimDuration {
-        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+        self.latency + SimDuration::from_secs_f64(bytes as f64 * self.slowdown / self.bandwidth)
+    }
+
+    /// Sets the link slowdown multiplier (`1.0` restores nominal speed).
+    /// Only transfers enqueued *after* the call are affected — in-flight
+    /// chunks keep the completion time assigned at enqueue.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slowdown` is finite and at least `1.0`.
+    pub fn set_slowdown(&mut self, slowdown: f64) {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "link slowdown must be finite and >= 1.0"
+        );
+        self.slowdown = slowdown;
     }
 
     /// Link bandwidth in bytes/second (per direction).

@@ -13,7 +13,7 @@
 //! reorder fields or change float formatting without updating every
 //! golden digest.
 
-use crate::report::{RunReport, RuntimeCounters, Summary};
+use crate::report::{FaultStats, RunReport, RuntimeCounters, Summary};
 
 /// 64-bit FNV-1a over a byte stream — stable, dependency-free, and fast
 /// enough for test-time digesting.
@@ -52,6 +52,22 @@ fn runtime_json(c: &RuntimeCounters) -> String {
     )
 }
 
+fn fault_json(f: &FaultStats) -> String {
+    let histogram: Vec<String> = f.retry_attempts.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"crashes\":{},\"boot_failures\":{},\"lost_events\":{},\"recovered\":{},\
+         \"abandoned\":{},\"shed\":{},\"retry_attempts\":[{}],\"recovery_latency\":{}}}",
+        f.crashes,
+        f.boot_failures,
+        f.lost_events,
+        f.recovered,
+        f.abandoned,
+        f.shed,
+        histogram.join(","),
+        summary_json(&f.recovery_latency),
+    )
+}
+
 fn summary_json(s: &Summary) -> String {
     format!(
         "{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
@@ -67,9 +83,12 @@ fn summary_json(s: &Summary) -> String {
 impl RunReport {
     /// The report's canonical JSON form (fixed field order, exact float
     /// rendering, duration in integer microseconds). See the module docs
-    /// for the stability contract.
+    /// for the stability contract. A `faults` member is appended only
+    /// when the report carries fault statistics, so fault-free reports —
+    /// and every digest pinned before fault injection existed — render
+    /// byte-identically to the historical form.
     pub fn canonical_json(&self) -> String {
-        format!(
+        let mut json = format!(
             "{{\"submitted\":{},\"completed\":{},\"duration_us\":{},\"ttft\":{},\
              \"throughput\":{},\"effective_throughput\":{},\"qos\":{},\
              \"total_rebuffer_secs\":{},\"stall_events\":{},\"preemptions\":{},\
@@ -89,7 +108,12 @@ impl RunReport {
             float(self.mean_generation_rate),
             float(self.replica_seconds),
             runtime_json(&self.runtime),
-        )
+        );
+        if let Some(f) = &self.faults {
+            json.pop();
+            json.push_str(&format!(",\"faults\":{}}}", fault_json(f)));
+        }
+        json
     }
 
     /// FNV-1a digest of [`RunReport::canonical_json`].
@@ -141,6 +165,39 @@ mod tests {
         assert!(j1.starts_with("{\"submitted\":1,\"completed\":1,"));
         assert!(j1.contains("\"duration_us\":10000000"));
         assert_eq!(r.digest(), fnv1a64(j1.as_bytes()));
+    }
+
+    #[test]
+    fn faults_section_renders_only_when_present() {
+        let clean = report();
+        assert!(!clean.canonical_json().contains("\"faults\""));
+        assert!(clean.canonical_json().ends_with("}}"));
+
+        let mut faulted = clean.clone();
+        faulted.faults = Some(crate::report::FaultStats {
+            crashes: 1,
+            boot_failures: 0,
+            lost_events: 2,
+            recovered: 2,
+            abandoned: 0,
+            shed: 3,
+            retry_attempts: vec![1, 1],
+            recovery_latency: Summary::of(&[0.5, 1.5]),
+        });
+        let json = faulted.canonical_json();
+        assert!(json.contains(
+            "\"faults\":{\"crashes\":1,\"boot_failures\":0,\"lost_events\":2,\
+             \"recovered\":2,\"abandoned\":0,\"shed\":3,\"retry_attempts\":[1,1],\
+             \"recovery_latency\":"
+        ));
+        // The fault-free prefix is untouched: byte-identical up to the
+        // spliced member, so pre-fault pinned digests cannot move.
+        let clean_json = clean.canonical_json();
+        assert_eq!(
+            &json[..clean_json.len() - 1],
+            &clean_json[..clean_json.len() - 1]
+        );
+        assert_ne!(clean.digest(), faulted.digest());
     }
 
     #[test]

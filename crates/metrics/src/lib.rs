@@ -31,7 +31,7 @@ pub mod weights;
 pub use digest::fnv1a64;
 pub use fleet::FleetStats;
 pub use record::RequestMetrics;
-pub use report::{percentile, RunReport, RuntimeCounters, Summary};
+pub use report::{percentile, FaultStats, RunReport, RuntimeCounters, Summary};
 pub use timeline::TokenTimeline;
 pub use timeseries::TimeSeries;
 pub use weights::{effective_weight, qos_token_weight, QosParams};

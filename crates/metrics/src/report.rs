@@ -156,6 +156,58 @@ impl RuntimeCounters {
     }
 }
 
+/// Failure/recovery accounting of one run under a fault plan. Absent
+/// (`None` on [`RunReport::faults`]) for runs without an active fault
+/// plan, which keeps fault-free canonical JSON — and therefore every
+/// pinned golden digest — byte-identical.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Replica crashes applied.
+    pub crashes: u64,
+    /// Provisioned replicas that failed to boot.
+    pub boot_failures: u64,
+    /// Request-loss events (a request lost twice counts twice).
+    pub lost_events: u64,
+    /// Lost requests that were re-dispatched and finished.
+    pub recovered: u64,
+    /// Lost requests that exhausted their retry budget.
+    pub abandoned: u64,
+    /// Arrivals rejected by pressure-triggered shed mode.
+    pub shed: u64,
+    /// Retry histogram: `retry_attempts[k]` is the number of requests
+    /// that were lost exactly `k + 1` times.
+    pub retry_attempts: Vec<u64>,
+    /// Seconds from a recovered request's first loss to its completion.
+    pub recovery_latency: Summary,
+}
+
+impl FaultStats {
+    /// Field-wise merge: counters sum, histograms add element-wise, and
+    /// the latency summary merges count-weighted (see
+    /// [`Summary::merged`]).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a FaultStats>) -> FaultStats {
+        let mut total = FaultStats::default();
+        let mut summaries = Vec::new();
+        for f in parts {
+            total.crashes += f.crashes;
+            total.boot_failures += f.boot_failures;
+            total.lost_events += f.lost_events;
+            total.recovered += f.recovered;
+            total.abandoned += f.abandoned;
+            total.shed += f.shed;
+            if total.retry_attempts.len() < f.retry_attempts.len() {
+                total.retry_attempts.resize(f.retry_attempts.len(), 0);
+            }
+            for (slot, &n) in total.retry_attempts.iter_mut().zip(&f.retry_attempts) {
+                *slot += n;
+            }
+            summaries.push(&f.recovery_latency);
+        }
+        total.recovery_latency = Summary::merged(summaries);
+        total
+    }
+}
+
 /// Aggregated results of one serving run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -193,6 +245,9 @@ pub struct RunReport {
     /// `from_records` leaves them zero; the engine and cluster layers
     /// fill them in when building their outcomes.
     pub runtime: RuntimeCounters,
+    /// Failure/recovery accounting, present only for runs executed under
+    /// a non-empty fault plan (the cluster layer fills it in).
+    pub faults: Option<FaultStats>,
 }
 
 impl RunReport {
@@ -236,6 +291,7 @@ impl RunReport {
             },
             replica_seconds: duration.as_secs_f64(),
             runtime: RuntimeCounters::default(),
+            faults: None,
         }
     }
 
@@ -291,6 +347,13 @@ impl RunReport {
             },
             replica_seconds: reports.iter().map(|r| r.replica_seconds).sum(),
             runtime: RuntimeCounters::merged(reports.iter().map(|r| &r.runtime)),
+            faults: if reports.iter().all(|r| r.faults.is_none()) {
+                None
+            } else {
+                Some(FaultStats::merged(
+                    reports.iter().filter_map(|r| r.faults.as_ref()),
+                ))
+            },
         }
     }
 }

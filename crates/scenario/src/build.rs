@@ -9,13 +9,14 @@
 //! to a [`RunOutcome`] with the report, its digest, and run metadata.
 
 use tokenflow_cluster::{
-    run_autoscaled, run_cluster_with, BacklogAwareRouter, Execution, LeastLoadedRouter,
-    RateAwareRouter, RoundRobinRouter, Router,
+    run_autoscaled, run_autoscaled_faulty, run_cluster_faulty, run_cluster_with,
+    BacklogAwareRouter, Execution, LeastLoadedRouter, RateAwareRouter, RoundRobinRouter, Router,
 };
 use tokenflow_control::{
     ControlConfig, PredictivePolicy, ReactivePolicy, ScalePolicy, ScriptedPolicy,
 };
 use tokenflow_core::{run_simulation_boxed, Completion, EngineConfig};
+use tokenflow_fault::{CrashFault, FaultPlan, RetryPolicy, WindowFault};
 use tokenflow_metrics::RunReport;
 use tokenflow_model::{HardwareProfile, ModelProfile};
 use tokenflow_sched::{
@@ -311,6 +312,50 @@ impl EngineSpec {
     }
 }
 
+impl RetrySpec {
+    /// Constructs the retry policy this spec describes. `max_attempts`
+    /// saturates at `u32::MAX` (the codec rejects larger values; this
+    /// covers programmatic construction).
+    pub fn build_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: u32::try_from(self.max_attempts).unwrap_or(u32::MAX),
+            base_backoff: SimDuration::from_millis(self.base_backoff_ms),
+            multiplier: self.multiplier,
+            max_backoff: SimDuration::from_millis(self.max_backoff_ms),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Constructs the fault plan this spec describes.
+    pub fn build_plan(&self) -> FaultPlan {
+        FaultPlan {
+            crashes: self
+                .crashes
+                .iter()
+                .map(|c| CrashFault {
+                    replica: c.replica as usize,
+                    at: SimTime::from_secs_f64(c.at_secs),
+                })
+                .collect(),
+            stragglers: self.stragglers.iter().map(build_window).collect(),
+            kv_link: self.kv_link.iter().map(build_window).collect(),
+            boot_failures: self.boot_failures.iter().map(|&b| b as usize).collect(),
+            retry: self.retry.build_policy(),
+            shed_utilization: self.shed_utilization,
+        }
+    }
+}
+
+fn build_window(w: &WindowFaultSpec) -> WindowFault {
+    WindowFault {
+        replica: w.replica as usize,
+        from: SimTime::from_secs_f64(w.from_secs),
+        until: SimTime::from_secs_f64(w.until_secs),
+        factor: w.factor,
+    }
+}
+
 impl ScenarioSpec {
     /// Assembles the runnable stack this spec describes.
     ///
@@ -318,6 +363,7 @@ impl ScenarioSpec {
     /// — the same construction path the hand-written examples used to
     /// spell out.
     pub fn build(&self) -> Result<Harness, SpecError> {
+        crate::codec::check_fault_topology(self, "scenario")?;
         let model = ModelProfile::by_name(&self.model)
             .ok_or_else(|| build_err(format!("unknown model {}", self.model)))?;
         let hardware = HardwareProfile::by_name(&self.hardware)
@@ -330,6 +376,7 @@ impl ScenarioSpec {
             topology: self.topology.clone(),
             config,
             workload,
+            fault: self.fault.as_ref().map(FaultSpec::build_plan),
         })
     }
 }
@@ -347,6 +394,10 @@ pub struct Harness {
     pub config: EngineConfig,
     /// The workload to serve.
     pub workload: Workload,
+    /// Deterministic fault plan (`None` = fault-free). Only meaningful
+    /// for cluster/autoscaled topologies — `ScenarioSpec::build` rejects
+    /// a faulted single topology before a `Harness` exists.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Harness {
@@ -363,6 +414,9 @@ impl Harness {
     pub fn run_with_execution(self, execution_override: Option<Execution>) -> RunOutcome {
         let scheduler_spec = self.scheduler;
         let scheduler_name = scheduler_spec.build_scheduler().name().to_string();
+        // Empty plans take the fault-free entry points, which are
+        // byte-identical anyway — this just keeps the common path common.
+        let fault = self.fault.filter(|p| !p.is_empty());
         match self.topology {
             TopologySpec::Single => {
                 let out = run_simulation_boxed(
@@ -389,14 +443,26 @@ impl Harness {
                 router,
                 execution,
             } => {
-                let out = run_cluster_with(
-                    self.config,
-                    replicas as usize,
-                    router.build_router(),
-                    move || scheduler_spec.build_scheduler(),
-                    &self.workload,
-                    execution_override.unwrap_or_else(|| execution.build_execution()),
-                );
+                let execution = execution_override.unwrap_or_else(|| execution.build_execution());
+                let out = match fault {
+                    Some(plan) => run_cluster_faulty(
+                        self.config,
+                        replicas as usize,
+                        router.build_router(),
+                        move || scheduler_spec.build_scheduler(),
+                        plan,
+                        &self.workload,
+                        execution,
+                    ),
+                    None => run_cluster_with(
+                        self.config,
+                        replicas as usize,
+                        router.build_router(),
+                        move || scheduler_spec.build_scheduler(),
+                        &self.workload,
+                        execution,
+                    ),
+                };
                 RunOutcome {
                     scenario: self.name,
                     topology: format!("cluster({replicas})"),
@@ -419,16 +485,30 @@ impl Harness {
                 execution,
             } => {
                 let control_config = control.build_control(&self.config);
-                let out = run_autoscaled(
-                    self.config,
-                    bootstrap as usize,
-                    router.build_router(),
-                    move || scheduler_spec.build_scheduler(),
-                    policy.build_policy(),
-                    control_config,
-                    &self.workload,
-                    execution_override.unwrap_or_else(|| execution.build_execution()),
-                );
+                let execution = execution_override.unwrap_or_else(|| execution.build_execution());
+                let out = match fault {
+                    Some(plan) => run_autoscaled_faulty(
+                        self.config,
+                        bootstrap as usize,
+                        router.build_router(),
+                        move || scheduler_spec.build_scheduler(),
+                        policy.build_policy(),
+                        control_config,
+                        plan,
+                        &self.workload,
+                        execution,
+                    ),
+                    None => run_autoscaled(
+                        self.config,
+                        bootstrap as usize,
+                        router.build_router(),
+                        move || scheduler_spec.build_scheduler(),
+                        policy.build_policy(),
+                        control_config,
+                        &self.workload,
+                        execution,
+                    ),
+                };
                 RunOutcome {
                     scenario: self.name,
                     topology: format!("autoscaled({bootstrap})"),
@@ -602,6 +682,89 @@ mod tests {
             assert_eq!(outcome.report.completed, 8, "{router:?}");
             assert_eq!(outcome.replicas, 2);
         }
+    }
+
+    #[test]
+    fn faulty_cluster_recovers_and_reports_fault_stats() {
+        let spec = ScenarioSpec {
+            workload: WorkloadSpec::Synthetic {
+                arrivals: ArrivalSpecSpec::Burst {
+                    size: 12,
+                    at_secs: 0.0,
+                },
+                prompt: LengthDistSpec::Fixed(128),
+                output: LengthDistSpec::Fixed(200),
+                rate: RateDistSpec::Fixed(10.0),
+                seed: 7,
+            },
+            topology: TopologySpec::Cluster {
+                replicas: 3,
+                router: RouterSpec::LeastLoaded,
+                execution: ExecutionSpec::Sequential,
+            },
+            fault: Some(FaultSpec {
+                crashes: vec![CrashSpec {
+                    replica: 0,
+                    at_secs: 2.0,
+                }],
+                ..FaultSpec::default()
+            }),
+            ..ScenarioSpec::default()
+        };
+        let outcome = spec.build().unwrap().run();
+        assert!(outcome.complete);
+        let faults = outcome.report.faults.as_ref().expect("fault stats");
+        assert_eq!(faults.crashes, 1);
+        assert_eq!(faults.abandoned, 0);
+        assert_eq!(faults.recovered, faults.lost_events);
+        assert_eq!(outcome.report.completed, outcome.report.submitted);
+    }
+
+    #[test]
+    fn out_of_range_fault_is_a_build_error() {
+        let spec = ScenarioSpec {
+            topology: TopologySpec::Cluster {
+                replicas: 2,
+                router: RouterSpec::default(),
+                execution: ExecutionSpec::Sequential,
+            },
+            fault: Some(FaultSpec {
+                crashes: vec![CrashSpec {
+                    replica: 7,
+                    at_secs: 1.0,
+                }],
+                ..FaultSpec::default()
+            }),
+            ..ScenarioSpec::default()
+        };
+        let err = spec.build().unwrap_err();
+        assert!(
+            matches!(err, SpecError::Invalid { ref msg, .. }
+            if msg.contains("0..2")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_fault_free_run() {
+        let topology = TopologySpec::Cluster {
+            replicas: 2,
+            router: RouterSpec::LeastLoaded,
+            execution: ExecutionSpec::Sequential,
+        };
+        let clean = ScenarioSpec {
+            topology: topology.clone(),
+            ..ScenarioSpec::default()
+        };
+        let empty = ScenarioSpec {
+            topology,
+            fault: Some(FaultSpec::default()),
+            ..ScenarioSpec::default()
+        };
+        let a = clean.build().unwrap().run();
+        let b = empty.build().unwrap().run();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

@@ -249,6 +249,7 @@ pub fn scenario_from_json(v: &Json, path: &str) -> Result<ScenarioSpec, SpecErro
             "scheduler",
             "workload",
             "topology",
+            "fault",
         ],
     )?;
     let d = ScenarioSpec::default();
@@ -272,7 +273,7 @@ pub fn scenario_from_json(v: &Json, path: &str) -> Result<ScenarioSpec, SpecErro
                 .ok_or_else(|| unknown_name(&format!("{path}.hardware"), name, HARDWARE_NAMES))?
         }
     };
-    Ok(ScenarioSpec {
+    let spec = ScenarioSpec {
         name: match v.get("name") {
             None => d.name,
             Some(j) => j
@@ -298,7 +299,59 @@ pub fn scenario_from_json(v: &Json, path: &str) -> Result<ScenarioSpec, SpecErro
             None => TopologySpec::default(),
             Some(j) => topology_from_json(j, &format!("{path}.topology"))?,
         },
-    })
+        fault: match v.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(fault_from_json(j, &format!("{path}.fault"))?),
+        },
+    };
+    check_fault_topology(&spec, path)?;
+    Ok(spec)
+}
+
+/// Cross-field check: a fault schedule needs a multi-replica topology,
+/// and every replica index it names must lie inside it (`replicas` for a
+/// fixed cluster, `control.max_replicas` for an elastic fleet).
+/// `ScenarioSpec::build` re-runs this so programmatically constructed
+/// specs hit the same typed error instead of a run-time panic.
+pub fn check_fault_topology(spec: &ScenarioSpec, path: &str) -> Result<(), SpecError> {
+    let Some(fault) = &spec.fault else {
+        return Ok(());
+    };
+    let bound = match &spec.topology {
+        TopologySpec::Single => {
+            return Err(invalid(
+                &format!("{path}.fault"),
+                "fault injection needs a cluster or autoscaled topology",
+            ));
+        }
+        TopologySpec::Cluster { replicas, .. } => *replicas,
+        TopologySpec::Autoscaled { control, .. } => control.max_replicas,
+    };
+    let check = |field: String, replica: u64| {
+        if replica >= bound {
+            Err(invalid(
+                &field,
+                format!(
+                    "replica {replica} is outside the topology (valid replica indices: 0..{bound})"
+                ),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    for (i, c) in fault.crashes.iter().enumerate() {
+        check(format!("{path}.fault.crashes[{i}].replica"), c.replica)?;
+    }
+    for (i, w) in fault.stragglers.iter().enumerate() {
+        check(format!("{path}.fault.stragglers[{i}].replica"), w.replica)?;
+    }
+    for (i, w) in fault.kv_link.iter().enumerate() {
+        check(format!("{path}.fault.kv_link[{i}].replica"), w.replica)?;
+    }
+    for (i, &b) in fault.boot_failures.iter().enumerate() {
+        check(format!("{path}.fault.boot_failures[{i}]"), b)?;
+    }
+    Ok(())
 }
 
 /// Case-insensitive lookup returning the canonical spelling.
@@ -974,6 +1027,145 @@ pub fn topology_from_json(v: &Json, path: &str) -> Result<TopologySpec, SpecErro
     }
 }
 
+/// Integer field that must be present (fault entries have no sensible
+/// default replica or instant).
+fn req_u64(v: &Json, path: &str, key: &str) -> Result<u64, SpecError> {
+    if v.get(key).is_none() {
+        return Err(invalid(&format!("{path}.{key}"), "required"));
+    }
+    get_u64(v, path, key, 0)
+}
+
+/// Non-negative number field that must be present.
+fn req_nonneg_f64(v: &Json, path: &str, key: &str) -> Result<f64, SpecError> {
+    if v.get(key).is_none() {
+        return Err(invalid(&format!("{path}.{key}"), "required"));
+    }
+    get_nonneg_f64(v, path, key, 0.0)
+}
+
+fn window_fault_from_json(v: &Json, path: &str) -> Result<WindowFaultSpec, SpecError> {
+    check_fields(v, path, &["replica", "from_secs", "until_secs", "factor"])?;
+    let spec = WindowFaultSpec {
+        replica: req_u64(v, path, "replica")?,
+        from_secs: req_nonneg_f64(v, path, "from_secs")?,
+        until_secs: req_nonneg_f64(v, path, "until_secs")?,
+        factor: {
+            if v.get("factor").is_none() {
+                return Err(invalid(&format!("{path}.factor"), "required"));
+            }
+            get_f64(v, path, "factor", 1.0)?
+        },
+    };
+    if spec.until_secs <= spec.from_secs {
+        return Err(invalid(
+            &format!("{path}.until_secs"),
+            "must be greater than from_secs",
+        ));
+    }
+    if !(spec.factor > 0.0 && spec.factor <= 1.0) {
+        return Err(invalid(&format!("{path}.factor"), "must be in (0, 1]"));
+    }
+    Ok(spec)
+}
+
+fn fault_array<'a>(v: &'a Json, path: &str, key: &str) -> Result<&'a [Json], SpecError> {
+    match v.get(key) {
+        None => Ok(&[]),
+        Some(j) => j
+            .as_arr()
+            .ok_or_else(|| invalid(&format!("{path}.{key}"), "expected an array")),
+    }
+}
+
+/// Parses a [`FaultSpec`]. Field-level checks live here; the cross-field
+/// replica-vs-topology check is [`check_fault_topology`].
+pub fn fault_from_json(v: &Json, path: &str) -> Result<FaultSpec, SpecError> {
+    check_fields(
+        v,
+        path,
+        &[
+            "crashes",
+            "stragglers",
+            "kv_link",
+            "boot_failures",
+            "retry",
+            "shed_utilization",
+        ],
+    )?;
+    let mut crashes = Vec::new();
+    for (i, c) in fault_array(v, path, "crashes")?.iter().enumerate() {
+        let cpath = format!("{path}.crashes[{i}]");
+        check_fields(c, &cpath, &["replica", "at_secs"])?;
+        crashes.push(CrashSpec {
+            replica: req_u64(c, &cpath, "replica")?,
+            at_secs: req_nonneg_f64(c, &cpath, "at_secs")?,
+        });
+    }
+    let mut stragglers = Vec::new();
+    for (i, w) in fault_array(v, path, "stragglers")?.iter().enumerate() {
+        stragglers.push(window_fault_from_json(
+            w,
+            &format!("{path}.stragglers[{i}]"),
+        )?);
+    }
+    let mut kv_link = Vec::new();
+    for (i, w) in fault_array(v, path, "kv_link")?.iter().enumerate() {
+        kv_link.push(window_fault_from_json(w, &format!("{path}.kv_link[{i}]"))?);
+    }
+    let mut boot_failures = Vec::new();
+    for (i, b) in fault_array(v, path, "boot_failures")?.iter().enumerate() {
+        boot_failures.push(b.as_u64().ok_or_else(|| {
+            invalid(
+                &format!("{path}.boot_failures[{i}]"),
+                "expected a non-negative integer",
+            )
+        })?);
+    }
+    let retry = match v.get("retry") {
+        None => RetrySpec::default(),
+        Some(j) => {
+            let rpath = format!("{path}.retry");
+            check_fields(
+                j,
+                &rpath,
+                &[
+                    "max_attempts",
+                    "base_backoff_ms",
+                    "multiplier",
+                    "max_backoff_ms",
+                ],
+            )?;
+            let d = RetrySpec::default();
+            let spec = RetrySpec {
+                max_attempts: get_u32_sized(j, &rpath, "max_attempts", d.max_attempts)?,
+                base_backoff_ms: get_millis(j, &rpath, "base_backoff_ms", d.base_backoff_ms)?,
+                multiplier: get_f64(j, &rpath, "multiplier", d.multiplier)?,
+                max_backoff_ms: get_millis(j, &rpath, "max_backoff_ms", d.max_backoff_ms)?,
+            };
+            if spec.multiplier < 1.0 {
+                return Err(invalid(&format!("{rpath}.multiplier"), "must be ≥ 1"));
+            }
+            spec
+        }
+    };
+    let shed_utilization = get_opt_f64(v, path, "shed_utilization")?;
+    if shed_utilization.is_some_and(|u| u <= 0.0) {
+        return Err(invalid(
+            &format!("{path}.shed_utilization"),
+            "must be positive",
+        ));
+    }
+    Ok(FaultSpec {
+        crashes,
+        stragglers,
+        kv_link,
+        boot_failures,
+        retry,
+        shed_utilization,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Emission (canonical: every field explicit, declaration order)
 // ---------------------------------------------------------------------
@@ -988,6 +1180,59 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
         ("scheduler", scheduler_to_json(&spec.scheduler)),
         ("workload", workload_to_json(&spec.workload)),
         ("topology", topology_to_json(&spec.topology)),
+        (
+            "fault",
+            spec.fault.as_ref().map_or(Json::Null, fault_to_json),
+        ),
+    ])
+}
+
+fn window_fault_to_json(w: &WindowFaultSpec) -> Json {
+    obj(vec![
+        ("replica", ni(w.replica)),
+        ("from_secs", n(w.from_secs)),
+        ("until_secs", n(w.until_secs)),
+        ("factor", n(w.factor)),
+    ])
+}
+
+/// Emits the canonical JSON for a [`FaultSpec`].
+pub fn fault_to_json(spec: &FaultSpec) -> Json {
+    obj(vec![
+        (
+            "crashes",
+            Json::Arr(
+                spec.crashes
+                    .iter()
+                    .map(|c| obj(vec![("replica", ni(c.replica)), ("at_secs", n(c.at_secs))]))
+                    .collect(),
+            ),
+        ),
+        (
+            "stragglers",
+            Json::Arr(spec.stragglers.iter().map(window_fault_to_json).collect()),
+        ),
+        (
+            "kv_link",
+            Json::Arr(spec.kv_link.iter().map(window_fault_to_json).collect()),
+        ),
+        (
+            "boot_failures",
+            Json::Arr(spec.boot_failures.iter().copied().map(ni).collect()),
+        ),
+        (
+            "retry",
+            obj(vec![
+                ("max_attempts", ni(spec.retry.max_attempts)),
+                ("base_backoff_ms", ni(spec.retry.base_backoff_ms)),
+                ("multiplier", n(spec.retry.multiplier)),
+                ("max_backoff_ms", ni(spec.retry.max_backoff_ms)),
+            ]),
+        ),
+        (
+            "shed_utilization",
+            spec.shed_utilization.map_or(Json::Null, n),
+        ),
     ])
 }
 
@@ -1336,6 +1581,104 @@ mod tests {
         let parsed = parse_scenario(&text).unwrap();
         assert_eq!(parsed, spec);
         assert_eq!(scenario_to_json(&parsed).emit(), text);
+    }
+
+    #[test]
+    fn fault_replica_outside_cluster_names_the_valid_range() {
+        let err = parse_scenario(
+            r#"{"topology": {"type": "cluster", "replicas": 2},
+                "fault": {"crashes": [{"replica": 5, "at_secs": 10}]}}"#,
+        )
+        .unwrap_err();
+        match err {
+            SpecError::Invalid { field, msg } => {
+                assert_eq!(field, "scenario.fault.crashes[0].replica");
+                assert!(msg.contains("replica 5"), "{msg}");
+                assert!(msg.contains("0..2"), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_replica_bound_is_max_replicas_for_elastic_fleets() {
+        // Inside the ceiling but above the bootstrap size: valid — the
+        // fleet can grow to meet it.
+        let ok = parse_scenario(
+            r#"{"topology": {"type": "autoscaled", "bootstrap": 1,
+                            "control": {"max_replicas": 8}},
+                "fault": {"stragglers": [{"replica": 6, "from_secs": 1,
+                                          "until_secs": 2, "factor": 0.5}]}}"#,
+        );
+        assert!(ok.is_ok(), "{ok:?}");
+        let err = parse_scenario(
+            r#"{"topology": {"type": "autoscaled", "bootstrap": 1,
+                            "control": {"max_replicas": 8}},
+                "fault": {"boot_failures": [8]}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { ref field, ref msg }
+            if field == "scenario.fault.boot_failures[0]" && msg.contains("0..8")));
+    }
+
+    #[test]
+    fn fault_on_single_topology_is_rejected() {
+        let err = parse_scenario(r#"{"fault": {}}"#).unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { ref field, ref msg }
+            if field == "scenario.fault"
+            && msg.contains("cluster or autoscaled")));
+    }
+
+    #[test]
+    fn null_fault_means_fault_free() {
+        let spec = parse_scenario(r#"{"fault": null}"#).unwrap();
+        assert_eq!(spec.fault, None);
+        assert_eq!(spec, ScenarioSpec::default());
+    }
+
+    #[test]
+    fn fault_spec_roundtrips_canonically() {
+        let spec = parse_scenario(
+            r#"{"topology": {"type": "cluster", "replicas": 3},
+                "fault": {"crashes": [{"replica": 2, "at_secs": 35}],
+                          "stragglers": [{"replica": 1, "from_secs": 30,
+                                          "until_secs": 45, "factor": 0.5}],
+                          "shed_utilization": 4.0}}"#,
+        )
+        .unwrap();
+        let fault = spec.fault.as_ref().unwrap();
+        assert_eq!(fault.retry, RetrySpec::default());
+        assert_eq!(fault.max_replica(), Some(2));
+        let text = scenario_to_json(&spec).emit();
+        let parsed = parse_scenario(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(scenario_to_json(&parsed).emit(), text);
+    }
+
+    #[test]
+    fn window_fault_field_checks() {
+        let base = |body: &str| {
+            format!(
+                r#"{{"topology": {{"type": "cluster", "replicas": 4}},
+                    "fault": {{"kv_link": [{body}]}}}}"#
+            )
+        };
+        let err = parse_scenario(&base(
+            r#"{"replica": 0, "from_secs": 5, "until_secs": 5, "factor": 0.5}"#,
+        ))
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { ref msg, .. }
+            if msg.contains("greater than from_secs")));
+        let err = parse_scenario(&base(
+            r#"{"replica": 0, "from_secs": 1, "until_secs": 2, "factor": 1.5}"#,
+        ))
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { ref msg, .. }
+            if msg.contains("(0, 1]")));
+        let err = parse_scenario(&base(r#"{"replica": 0, "from_secs": 1, "until_secs": 2}"#))
+            .unwrap_err();
+        assert!(matches!(err, SpecError::Invalid { ref field, .. }
+            if field.ends_with(".factor")));
     }
 
     #[test]

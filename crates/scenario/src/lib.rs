@@ -54,16 +54,17 @@ pub mod tracefmt;
 
 pub use build::{Harness, RunOutcome};
 pub use codec::{
-    parse_scenario, policy_from_json, policy_to_json, router_from_json, router_to_json,
-    scenario_from_json, scenario_to_json, scheduler_from_json, scheduler_to_json, SpecError,
+    check_fault_topology, fault_from_json, fault_to_json, parse_scenario, policy_from_json,
+    policy_to_json, router_from_json, router_to_json, scenario_from_json, scenario_to_json,
+    scheduler_from_json, scheduler_to_json, SpecError,
 };
 pub use json::Json;
 pub use spec::{
-    ArrivalSpecSpec, ControlSpec, EngineSpec, ExecutionSpec, InlineRequest, LengthDistSpec,
-    RateDistSpec, RouterSpec, ScalePolicySpec, ScenarioSpec, SchedulerSpec, TokenFlowSpec,
-    TopologySpec, WorkloadSpec, ARRIVAL_NAMES, HARDWARE_NAMES, LENGTH_DIST_NAMES, MODEL_NAMES,
-    PRESET_NAMES, RATE_DIST_NAMES, ROUTER_NAMES, SCALE_POLICY_NAMES, SCHEDULER_NAMES,
-    TOPOLOGY_NAMES, WORKLOAD_TYPE_NAMES,
+    ArrivalSpecSpec, ControlSpec, CrashSpec, EngineSpec, ExecutionSpec, FaultSpec, InlineRequest,
+    LengthDistSpec, RateDistSpec, RetrySpec, RouterSpec, ScalePolicySpec, ScenarioSpec,
+    SchedulerSpec, TokenFlowSpec, TopologySpec, WindowFaultSpec, WorkloadSpec, ARRIVAL_NAMES,
+    HARDWARE_NAMES, LENGTH_DIST_NAMES, MODEL_NAMES, PRESET_NAMES, RATE_DIST_NAMES, ROUTER_NAMES,
+    SCALE_POLICY_NAMES, SCHEDULER_NAMES, TOPOLOGY_NAMES, WORKLOAD_TYPE_NAMES,
 };
 pub use tracefmt::{
     canonical_trace_jsonl, event_json, explain, perfetto_json, request_timeline, trace_digest,

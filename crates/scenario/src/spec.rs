@@ -608,6 +608,91 @@ impl TopologySpec {
     }
 }
 
+/// One scheduled fail-stop replica crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashSpec {
+    /// Replica index, 0-based in provisioning order.
+    pub replica: u64,
+    /// Crash instant, seconds.
+    pub at_secs: f64,
+}
+
+/// One degradation window: the replica (straggler) or its KV link runs
+/// at `factor` of healthy throughput over `[from_secs, until_secs)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowFaultSpec {
+    /// Replica index, 0-based in provisioning order.
+    pub replica: u64,
+    /// Window start, seconds (inclusive).
+    pub from_secs: f64,
+    /// Window end, seconds (exclusive; must exceed `from_secs`).
+    pub until_secs: f64,
+    /// Throughput multiplier in `(0, 1]`.
+    pub factor: f64,
+}
+
+/// Crash-recovery retry/backoff knobs, mirroring
+/// `tokenflow_fault::RetryPolicy` field for field (times in
+/// spec-friendly milliseconds). Defaults equal `RetryPolicy::default()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrySpec {
+    /// Re-dispatch attempts granted per request before it is abandoned.
+    pub max_attempts: u64,
+    /// Backoff before the first retry, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Exponential growth factor (≥ 1) between consecutive retries.
+    pub multiplier: f64,
+    /// Ceiling on any single backoff, milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        RetrySpec {
+            max_attempts: 3,
+            base_backoff_ms: 500,
+            multiplier: 2.0,
+            max_backoff_ms: 8_000,
+        }
+    }
+}
+
+/// A deterministic fault schedule, mirroring
+/// `tokenflow_fault::FaultPlan`. Only cluster and autoscaled topologies
+/// accept one, and every replica index it names must lie inside the
+/// topology (`replicas` for a fixed cluster, `control.max_replicas` for
+/// an elastic fleet) — the codec and `ScenarioSpec::build` both enforce
+/// this.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Fail-stop replica crashes.
+    pub crashes: Vec<CrashSpec>,
+    /// Compute-degradation (straggler) windows.
+    pub stragglers: Vec<WindowFaultSpec>,
+    /// KV-link (PCIe) degradation windows.
+    pub kv_link: Vec<WindowFaultSpec>,
+    /// Provisioning ordinals that fail to boot (elastic fleets).
+    pub boot_failures: Vec<u64>,
+    /// Crash-recovery retry/backoff policy.
+    pub retry: RetrySpec,
+    /// Admission-shed threshold on fleet utilization `Σ rᵢ / (n·Γ)`;
+    /// `None` disables shedding.
+    pub shed_utilization: Option<f64>,
+}
+
+impl FaultSpec {
+    /// The largest replica index the spec references, if it names any.
+    pub fn max_replica(&self) -> Option<u64> {
+        self.crashes
+            .iter()
+            .map(|c| c.replica)
+            .chain(self.stragglers.iter().map(|w| w.replica))
+            .chain(self.kv_link.iter().map(|w| w.replica))
+            .chain(self.boot_failures.iter().copied())
+            .max()
+    }
+}
+
 /// One complete scenario: the whole serving surface as data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -625,6 +710,8 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
     /// Serving topology.
     pub topology: TopologySpec,
+    /// Deterministic fault schedule (`None` = fault-free).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for ScenarioSpec {
@@ -637,6 +724,7 @@ impl Default for ScenarioSpec {
             scheduler: SchedulerSpec::default(),
             workload: WorkloadSpec::default(),
             topology: TopologySpec::default(),
+            fault: None,
         }
     }
 }

@@ -166,6 +166,33 @@ fn event_json_inner(e: &TraceEvent, with_seq: bool) -> Json {
         TraceEventKind::HorizonEnded { reason } => {
             members.push(("reason".to_string(), s(reason.label())));
         }
+        TraceEventKind::ReplicaCrashed { replica, lost } => {
+            members.push(("replica".to_string(), ni(u64::from(*replica))));
+            members.push(("lost".to_string(), ni(*lost)));
+        }
+        TraceEventKind::ReplicaDegraded { replica, factor }
+        | TraceEventKind::LinkDegraded { replica, factor } => {
+            members.push(("replica".to_string(), ni(u64::from(*replica))));
+            members.push(("factor".to_string(), n(*factor)));
+        }
+        TraceEventKind::BootFailed { replica } => {
+            members.push(("replica".to_string(), ni(u64::from(*replica))));
+        }
+        TraceEventKind::RequestLost { id: r, replica } => {
+            members.push(("id".to_string(), id(*r)));
+            members.push(("replica".to_string(), ni(u64::from(*replica))));
+        }
+        TraceEventKind::RetryScheduled { id: r, attempt } => {
+            members.push(("id".to_string(), id(*r)));
+            members.push(("attempt".to_string(), ni(u64::from(*attempt))));
+        }
+        TraceEventKind::RequestAbandoned { id: r, attempts } => {
+            members.push(("id".to_string(), id(*r)));
+            members.push(("attempts".to_string(), ni(u64::from(*attempts))));
+        }
+        TraceEventKind::AdmissionShed { id: r } => {
+            members.push(("id".to_string(), id(*r)));
+        }
     }
     Json::Obj(members)
 }
@@ -224,6 +251,13 @@ fn required_keys(kind: &str) -> Option<&'static [&'static str]> {
         "scale" => &["delta", "applied", "active", "terms"],
         "horizon_armed" => &["valid_until_us", "gates_static"],
         "horizon_ended" => &["reason"],
+        "replica_crashed" => &["replica", "lost"],
+        "replica_degraded" | "link_degraded" => &["replica", "factor"],
+        "boot_failed" => &["replica"],
+        "request_lost" => &["id", "replica"],
+        "retry_scheduled" => &["id", "attempt"],
+        "request_abandoned" => &["id", "attempts"],
+        "admission_shed" => &["id"],
         _ => return None,
     })
 }
@@ -520,6 +554,38 @@ fn describe(e: &TraceEvent) -> String {
         TraceEventKind::Swap {
             evicted, admitted, ..
         } => format!("swap: {evicted} out, {admitted} in"),
+        TraceEventKind::ReplicaCrashed { replica, lost } => {
+            format!("replica {replica} crashed ({lost} in-flight requests lost)")
+        }
+        TraceEventKind::ReplicaDegraded { replica, factor } => {
+            if (*factor - 1.0).abs() < f64::EPSILON {
+                format!("replica {replica} recovered full compute throughput")
+            } else {
+                format!("replica {replica} degraded to {factor:.2}x compute throughput")
+            }
+        }
+        TraceEventKind::BootFailed { replica } => {
+            format!("replica {replica} failed to boot")
+        }
+        TraceEventKind::LinkDegraded { replica, factor } => {
+            if (*factor - 1.0).abs() < f64::EPSILON {
+                format!("replica {replica} KV link restored")
+            } else {
+                format!("replica {replica} KV link degraded to {factor:.2}x bandwidth")
+            }
+        }
+        TraceEventKind::RequestLost { replica, .. } => {
+            format!("lost to replica {replica} crash")
+        }
+        TraceEventKind::RetryScheduled { attempt, .. } => {
+            format!("retry scheduled (attempt {attempt})")
+        }
+        TraceEventKind::RequestAbandoned { attempts, .. } => {
+            format!("abandoned after {attempts} lost attempts")
+        }
+        TraceEventKind::AdmissionShed { .. } => {
+            "shed at the dispatch barrier (cluster overload)".to_string()
+        }
         TraceEventKind::Scale { .. }
         | TraceEventKind::HorizonArmed { .. }
         | TraceEventKind::HorizonEnded { .. } => e.kind.name().to_string(),

@@ -8,10 +8,10 @@
 
 use proptest::prelude::*;
 use tokenflow_scenario::{
-    codec, json, ArrivalSpecSpec, ControlSpec, EngineSpec, ExecutionSpec, InlineRequest,
-    LengthDistSpec, RateDistSpec, RouterSpec, ScalePolicySpec, ScenarioSpec, SchedulerSpec,
-    SpecError, TokenFlowSpec, TopologySpec, WorkloadSpec, PRESET_NAMES, ROUTER_NAMES,
-    SCALE_POLICY_NAMES, SCHEDULER_NAMES,
+    codec, json, ArrivalSpecSpec, ControlSpec, CrashSpec, EngineSpec, ExecutionSpec, FaultSpec,
+    InlineRequest, LengthDistSpec, RateDistSpec, RetrySpec, RouterSpec, ScalePolicySpec,
+    ScenarioSpec, SchedulerSpec, SpecError, TokenFlowSpec, TopologySpec, WindowFaultSpec,
+    WorkloadSpec, PRESET_NAMES, ROUTER_NAMES, SCALE_POLICY_NAMES, SCHEDULER_NAMES,
 };
 
 /// Strings exercising the emitter's escaping: spaces, quotes, newlines,
@@ -309,6 +309,52 @@ fn arb_topology() -> impl Strategy<Value = TopologySpec> {
     ]
 }
 
+fn arb_window_fault(bound: u64) -> impl Strategy<Value = WindowFaultSpec> {
+    (0..bound, 0.0f64..300.0, 0.1f64..200.0, 0.05f64..1.0).prop_map(
+        |(replica, from_secs, width, factor)| WindowFaultSpec {
+            replica,
+            from_secs,
+            until_secs: from_secs + width,
+            factor,
+        },
+    )
+}
+
+/// A fault schedule whose replica indices all lie inside `bound` — the
+/// cross-field topology check would reject anything larger, so the
+/// round-trip property generates only specs that parse back.
+fn arb_fault(bound: u64) -> impl Strategy<Value = Option<FaultSpec>> {
+    let full = (
+        collection::vec(
+            (0..bound, 0.0f64..600.0).prop_map(|(replica, at_secs)| CrashSpec { replica, at_secs }),
+            0usize..3,
+        ),
+        collection::vec(arb_window_fault(bound), 0usize..3),
+        collection::vec(arb_window_fault(bound), 0usize..3),
+        collection::vec(0..bound, 0usize..3),
+        (1u64..8, 1u64..5_000, 1.0f64..4.0, 1u64..60_000),
+        (0u64..2, 0.5f64..8.0),
+    )
+        .prop_map(
+            |(crashes, stragglers, kv_link, boot_failures, retry, (has_shed, shed))| {
+                Some(FaultSpec {
+                    crashes,
+                    stragglers,
+                    kv_link,
+                    boot_failures,
+                    retry: RetrySpec {
+                        max_attempts: retry.0,
+                        base_backoff_ms: retry.1,
+                        multiplier: retry.2,
+                        max_backoff_ms: retry.3,
+                    },
+                    shed_utilization: (has_shed == 1).then_some(shed),
+                })
+            },
+        );
+    prop_oneof![Just(None), full]
+}
+
 fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
     (
         (arb_name(), 0usize..4, 0usize..4),
@@ -317,8 +363,25 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
         arb_workload(),
         arb_topology(),
     )
+        .prop_flat_map(|(names, engine, scheduler, workload, topology)| {
+            // Fault replica indices must respect the topology's bound —
+            // single topologies take no fault at all.
+            let fault = match &topology {
+                TopologySpec::Single => Just(None).boxed(),
+                TopologySpec::Cluster { replicas, .. } => arb_fault(*replicas).boxed(),
+                TopologySpec::Autoscaled { control, .. } => arb_fault(control.max_replicas).boxed(),
+            };
+            (
+                Just(names),
+                Just(engine),
+                Just(scheduler),
+                Just(workload),
+                Just(topology),
+                fault,
+            )
+        })
         .prop_map(
-            |((name, model_i, hw_i), engine, scheduler, workload, topology)| ScenarioSpec {
+            |((name, model_i, hw_i), engine, scheduler, workload, topology, fault)| ScenarioSpec {
                 name,
                 model: tokenflow_scenario::MODEL_NAMES[model_i].to_string(),
                 hardware: tokenflow_scenario::HARDWARE_NAMES[hw_i].to_string(),
@@ -326,6 +389,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                 scheduler,
                 workload,
                 topology,
+                fault,
             },
         )
 }

@@ -75,6 +75,39 @@ fn committed_sweep_is_a_policy_by_workload_grid() {
     assert_eq!(sweep.axes.len(), 2, "scheduler × workload axes");
 }
 
+/// Acceptance: the committed fault-injection scenario — a crash plus a
+/// straggler window in the middle of the flash crowd — recovers every
+/// lost request (no abandons, no sheds) and reproduces its pinned report
+/// digest byte-for-byte. A drift here means fault injection, recovery,
+/// or the scenario codec changed observable behavior.
+#[test]
+fn faulty_flash_crowd_recovers_fully_and_digest_is_pinned() {
+    let text = std::fs::read_to_string(scenarios_dir().join("faulty_flash_crowd.json"))
+        .expect("fault scenario committed");
+    let spec = scenario_from_json(&json::parse(&text).unwrap(), "scenario").unwrap();
+    let out = spec.build().expect("buildable").run();
+    assert!(out.complete);
+    let faults = out
+        .report
+        .faults
+        .as_ref()
+        .expect("faulted run reports stats");
+    assert_eq!(faults.crashes, 1);
+    assert!(faults.lost_events > 0, "the crash must strand live work");
+    assert_eq!(faults.recovered, faults.lost_events, "full recovery");
+    assert_eq!(faults.abandoned, 0);
+    assert_eq!(faults.shed, 0);
+    assert_eq!(out.report.completed, out.report.submitted);
+    const PINNED: u64 = 0x29b8_47a6_773a_9837;
+    assert_eq!(
+        out.digest(),
+        PINNED,
+        "fault scenario digest drifted: {:016x}\n{}",
+        out.digest(),
+        out.report.canonical_json()
+    );
+}
+
 /// Acceptance: `tokenflow run scenarios/flash_crowd_autoscale.json`
 /// produces a `RunReport` whose digest matches the equivalent hand-built
 /// stack — the exact construction `tests/golden.rs` pins.

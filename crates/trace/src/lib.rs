@@ -192,6 +192,35 @@ pub enum TraceEventKind {
     },
     /// Meta: an armed horizon stopped applying.
     HorizonEnded { reason: HorizonEndReason },
+    /// A replica fail-stopped; its resident KV and in-flight streams are
+    /// gone.
+    ReplicaCrashed {
+        replica: u32,
+        /// Unfinished requests resident at the instant of the crash.
+        lost: u64,
+    },
+    /// A replica's compute throughput changed (straggler window edge).
+    /// `factor` is the throughput multiplier now in effect (`1.0`
+    /// restores full speed).
+    ReplicaDegraded { replica: u32, factor: f64 },
+    /// A provisioning replica failed to boot and will never serve.
+    BootFailed { replica: u32 },
+    /// A replica's KV transfer link changed speed (link-fault window
+    /// edge). `factor` is the bandwidth multiplier now in effect.
+    LinkDegraded { replica: u32, factor: f64 },
+    /// A request's in-flight state was lost to a replica crash.
+    RequestLost { id: RequestId, replica: u32 },
+    /// The recovery path scheduled a lost request for re-dispatch.
+    RetryScheduled {
+        id: RequestId,
+        /// 1-based recovery attempt this schedules.
+        attempt: u32,
+    },
+    /// A lost request exhausted its retry budget and was given up on.
+    RequestAbandoned { id: RequestId, attempts: u32 },
+    /// Pressure-triggered admission shed a first-attempt arrival at the
+    /// dispatch barrier.
+    AdmissionShed { id: RequestId },
 }
 
 impl TraceEventKind {
@@ -218,6 +247,14 @@ impl TraceEventKind {
             TraceEventKind::Scale { .. } => "scale",
             TraceEventKind::HorizonArmed { .. } => "horizon_armed",
             TraceEventKind::HorizonEnded { .. } => "horizon_ended",
+            TraceEventKind::ReplicaCrashed { .. } => "replica_crashed",
+            TraceEventKind::ReplicaDegraded { .. } => "replica_degraded",
+            TraceEventKind::BootFailed { .. } => "boot_failed",
+            TraceEventKind::LinkDegraded { .. } => "link_degraded",
+            TraceEventKind::RequestLost { .. } => "request_lost",
+            TraceEventKind::RetryScheduled { .. } => "retry_scheduled",
+            TraceEventKind::RequestAbandoned { .. } => "request_abandoned",
+            TraceEventKind::AdmissionShed { .. } => "admission_shed",
         }
     }
 
@@ -251,11 +288,19 @@ impl TraceEventKind {
             | TraceEventKind::EvictDone { id }
             | TraceEventKind::LoadStart { id, .. }
             | TraceEventKind::LoadDone { id }
-            | TraceEventKind::Reprice { id, .. } => Some(id),
+            | TraceEventKind::Reprice { id, .. }
+            | TraceEventKind::RequestLost { id, .. }
+            | TraceEventKind::RetryScheduled { id, .. }
+            | TraceEventKind::RequestAbandoned { id, .. }
+            | TraceEventKind::AdmissionShed { id } => Some(id),
             TraceEventKind::Swap { evicted, .. } => Some(evicted),
             TraceEventKind::Scale { .. }
             | TraceEventKind::HorizonArmed { .. }
-            | TraceEventKind::HorizonEnded { .. } => None,
+            | TraceEventKind::HorizonEnded { .. }
+            | TraceEventKind::ReplicaCrashed { .. }
+            | TraceEventKind::ReplicaDegraded { .. }
+            | TraceEventKind::BootFailed { .. }
+            | TraceEventKind::LinkDegraded { .. } => None,
         }
     }
 
@@ -287,7 +332,11 @@ impl TraceEventKind {
             | TraceEventKind::EvictDone { id }
             | TraceEventKind::LoadStart { id, .. }
             | TraceEventKind::LoadDone { id }
-            | TraceEventKind::Reprice { id, .. } => *id = f(*id),
+            | TraceEventKind::Reprice { id, .. }
+            | TraceEventKind::RequestLost { id, .. }
+            | TraceEventKind::RetryScheduled { id, .. }
+            | TraceEventKind::RequestAbandoned { id, .. }
+            | TraceEventKind::AdmissionShed { id } => *id = f(*id),
             TraceEventKind::Swap {
                 evicted, admitted, ..
             } => {
@@ -296,7 +345,11 @@ impl TraceEventKind {
             }
             TraceEventKind::Scale { .. }
             | TraceEventKind::HorizonArmed { .. }
-            | TraceEventKind::HorizonEnded { .. } => {}
+            | TraceEventKind::HorizonEnded { .. }
+            | TraceEventKind::ReplicaCrashed { .. }
+            | TraceEventKind::ReplicaDegraded { .. }
+            | TraceEventKind::BootFailed { .. }
+            | TraceEventKind::LinkDegraded { .. } => {}
         }
     }
 }

@@ -120,6 +120,7 @@ pub use tokenflow_client as client;
 pub use tokenflow_cluster as cluster;
 pub use tokenflow_control as control;
 pub use tokenflow_core as core;
+pub use tokenflow_fault as fault;
 pub use tokenflow_kv as kv;
 pub use tokenflow_metrics as metrics;
 pub use tokenflow_model as model;

@@ -3,7 +3,8 @@
 //! The workspace builds without network access, so the real crate cannot be
 //! fetched. This crate implements the subset of proptest's API the test
 //! suite uses — [`Strategy`] values built from ranges, tuples,
-//! [`collection::vec`], [`Just`], [`Strategy::prop_map`], `prop_oneof!` —
+//! [`collection::vec`], [`Just`], [`Strategy::prop_map`],
+//! [`Strategy::prop_flat_map`], [`Strategy::boxed`], `prop_oneof!` —
 //! and a [`proptest!`] macro that runs each property over a seeded stream
 //! of random cases.
 //!
@@ -91,7 +92,31 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Maps generated values to a follow-up strategy and draws from it —
+    /// how dependent values (e.g. an index bounded by a generated size)
+    /// are produced.
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+        U: Strategy,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type so alternatives of different
+    /// shapes can share one variable (mirrors proptest's `BoxedStrategy`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
 }
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
@@ -140,6 +165,26 @@ where
     }
 }
 
+/// Adapter produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Strategy,
+{
+    type Value = U::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -179,7 +224,9 @@ macro_rules! tuple_strategy {
     )*};
 }
 
-tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+)(A, B, C, D, E, F, G));
 
 /// Uniform choice between boxed alternative strategies (see `prop_oneof!`).
 pub struct Union<T> {
@@ -238,8 +285,8 @@ pub mod prop {
 /// Everything the test files import.
 pub mod prelude {
     pub use crate::{
-        collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
-        Strategy,
+        collection, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -394,6 +441,14 @@ mod tests {
             Just(100u64),
         ]) {
             prop_assert!(x == 100 || (x % 2 == 0 && x < 10));
+        }
+
+        #[test]
+        fn flat_map_bounds_dependent_values(pair in (1u64..10).prop_flat_map(|bound| {
+            ((0..bound).boxed(), Just(bound))
+        })) {
+            let (x, bound) = pair;
+            prop_assert!(x < bound);
         }
     }
 }
