@@ -1,0 +1,16 @@
+//! annotation fixture: the grammar itself is validated.
+
+// audit: allow(nonsense, reason = "x")
+pub fn a() {}
+
+// audit: allow(determinism, reason = "")
+pub fn b() {}
+
+// audit: allow(determinism)
+pub fn c() {}
+
+// audit: tier(quantum)
+pub fn d() {}
+
+// audit: allow(unordered, reason = "suppresses nothing here")
+pub fn e() {}

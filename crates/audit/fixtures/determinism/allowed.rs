@@ -1,0 +1,6 @@
+//! determinism fixture: a justified allow suppresses the finding.
+
+pub fn cores() -> usize {
+    // audit: allow(determinism, reason = "sizing only; cannot reach an outcome byte")
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

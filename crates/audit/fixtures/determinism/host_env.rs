@@ -1,0 +1,9 @@
+//! determinism fixture: process environment and host identity.
+
+pub fn who() -> String {
+    let home = std::env::var("HOME").unwrap_or_default();
+    let th = std::thread::current();
+    let n = std::thread::available_parallelism();
+    let _ = (th, n);
+    home
+}

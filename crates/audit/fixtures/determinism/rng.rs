@@ -1,0 +1,8 @@
+//! determinism fixture: unseeded randomness.
+
+pub fn entropy() -> u64 {
+    let rng = rand::thread_rng();
+    let state = std::collections::hash_map::RandomState::new();
+    let _ = (rng, state);
+    0
+}

@@ -1,0 +1,9 @@
+//! determinism fixture: wall-clock reads are banned.
+
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let epoch = std::time::UNIX_EPOCH;
+    let _ = (t0, wall, epoch);
+    0
+}

@@ -1,0 +1,19 @@
+//! panic fixture: every site class, with a cfg(test) module excluded.
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    let first = v.first().unwrap();
+    let second: u64 = v.get(1).copied().expect("fixture");
+    if i > v.len() {
+        panic!("out of range");
+    }
+    first + second + v[i]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::pick(&[1, 2], 0);
+        assert_eq!([9u64][0], 9);
+    }
+}

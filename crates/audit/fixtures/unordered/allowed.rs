@@ -1,0 +1,10 @@
+//! unordered fixture: an allowed drain.
+
+use std::collections::HashSet;
+
+pub fn clear(s: &mut HashSet<u64>) -> usize {
+    let n = s.len();
+    // audit: allow(unordered, reason = "drained to drop; order never observed")
+    s.drain().count();
+    n
+}

@@ -1,0 +1,23 @@
+//! unordered fixture: iteration over hash-ordered collections.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pending: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    pub fn sum(&self) -> u64 {
+        let mut acc = 0;
+        for k in self.pending.keys() {
+            acc += *k;
+        }
+        for v in &self.seen {
+            acc += *v;
+        }
+        acc += self.pending.values().map(|v| u64::from(*v)).sum::<u64>();
+        let d: Vec<u64> = self.seen.iter().copied().collect();
+        acc + d.len() as u64
+    }
+}

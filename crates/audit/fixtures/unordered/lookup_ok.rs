@@ -1,0 +1,13 @@
+//! unordered fixture: lookup-only use of a hash map is fine.
+
+use std::collections::HashMap;
+
+pub fn hits(m: &HashMap<u64, u32>, wanted: &[u64]) -> u32 {
+    let mut acc = 0;
+    for k in wanted {
+        if let Some(v) = m.get(k) {
+            acc += *v;
+        }
+    }
+    acc
+}

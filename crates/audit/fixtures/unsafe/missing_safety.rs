@@ -1,0 +1,5 @@
+//! unsafe fixture: unsafe without a SAFETY comment.
+
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}

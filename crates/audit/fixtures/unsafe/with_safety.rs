@@ -1,0 +1,6 @@
+//! unsafe fixture: a SAFETY comment within range covers the site.
+
+pub fn read(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid and aligned for reads.
+    unsafe { *p }
+}

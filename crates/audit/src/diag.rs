@@ -1,0 +1,334 @@
+//! Typed diagnostics and the `// audit:` annotation grammar.
+//!
+//! Two annotation forms are recognized, both only in plain `//` line
+//! comments (doc comments are documentation, not directives):
+//!
+//! * `// audit: tier(<deterministic|host>)` — a crate's capability tier,
+//!   declared once in its crate root and cross-checked against the
+//!   committed tier map in [`crate::tiers`].
+//! * `// audit: allow(<pass>, reason = "...")` — suppresses diagnostics
+//!   of one pass on the annotated line (a trailing comment) or on the
+//!   next code line (a standalone comment). Annotations are themselves
+//!   validated: unknown pass names, empty reasons, malformed grammar,
+//!   and allows that suppress nothing are all errors — a stale allow is
+//!   a hole in the contract.
+
+use crate::lexer::{Tok, TokKind};
+
+/// The audit passes. [`Pass::Annotation`] is the validator for the
+/// annotation grammar itself and cannot be allowed away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Bans wall-clock, host-environment, unseeded-randomness, and
+    /// host-identity reads in the deterministic tier.
+    Determinism,
+    /// Flags iteration over hash-ordered collections in the
+    /// deterministic tier.
+    Unordered,
+    /// Counts the panic surface of non-test library code against the
+    /// committed baseline (a ratchet: it may only shrink).
+    Panic,
+    /// Requires `// SAFETY:` on every `unsafe` and `#![forbid
+    /// (unsafe_code)]` on every crate without one.
+    Unsafe,
+    /// Validates `// audit:` annotations and tier declarations.
+    Annotation,
+}
+
+impl Pass {
+    /// The pass's name as written in annotations and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Determinism => "determinism",
+            Pass::Unordered => "unordered",
+            Pass::Panic => "panic",
+            Pass::Unsafe => "unsafe",
+            Pass::Annotation => "annotation",
+        }
+    }
+
+    /// Pass names an `allow(...)` may target.
+    pub const ALLOWABLE: &'static [&'static str] = &["determinism", "unordered", "panic", "unsafe"];
+
+    /// Parses an allowable pass name.
+    pub fn from_allow_name(name: &str) -> Option<Pass> {
+        match name {
+            "determinism" => Some(Pass::Determinism),
+            "unordered" => Some(Pass::Unordered),
+            "panic" => Some(Pass::Panic),
+            "unsafe" => Some(Pass::Unsafe),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, pinned to a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The pass that produced it.
+    pub pass: Pass,
+    /// A stable machine-readable code (`wall_clock`, `unordered_iteration`, ...).
+    pub code: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line (0 for crate-level findings).
+    pub line: u32,
+    /// 1-based column (0 for crate-level findings).
+    pub col: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `error[pass/code]: message` + ` --> file:line:col` rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "error[{}/{}]: {}\n  --> {}:{}:{}",
+            self.pass.name(),
+            self.code,
+            self.message,
+            self.file,
+            self.line,
+            self.col
+        )
+    }
+}
+
+/// A parsed `// audit: allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The pass it suppresses.
+    pub pass: Pass,
+    /// The stated justification (validated non-empty).
+    pub reason: String,
+    /// Line of the annotation comment.
+    pub line: u32,
+    /// The code line the annotation covers.
+    pub target_line: u32,
+}
+
+/// A parsed `// audit: tier(...)` declaration.
+#[derive(Debug, Clone)]
+pub struct TierDecl {
+    /// The declared tier name.
+    pub tier: String,
+    /// Line of the declaration.
+    pub line: u32,
+}
+
+/// Everything extracted from one file's `// audit:` comments.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    /// Valid allows, in file order.
+    pub allows: Vec<Allow>,
+    /// Valid tier declarations, in file order.
+    pub tiers: Vec<TierDecl>,
+    /// Grammar violations (unknown pass, empty reason, malformed).
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Extracts and validates every `// audit:` annotation in a token
+/// stream. `file` is used only for diagnostics.
+pub fn parse_annotations(file: &str, toks: &[Tok]) -> Annotations {
+    let mut out = Annotations::default();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        // Plain `//` only: `///` and `//!` are documentation.
+        let body = &tok.text;
+        if body.starts_with("///") || body.starts_with("//!") {
+            continue;
+        }
+        let Some(rest) = body
+            .strip_prefix("//")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix("audit:"))
+        else {
+            continue;
+        };
+        let rest = rest.trim();
+        let err = |code: &'static str, message: String| Diagnostic {
+            pass: Pass::Annotation,
+            code,
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        };
+        if let Some(inner) = strip_call(rest, "tier") {
+            match inner {
+                Ok(name) if name == "deterministic" || name == "host" => {
+                    out.tiers.push(TierDecl {
+                        tier: name.to_string(),
+                        line: tok.line,
+                    });
+                }
+                Ok(name) => out.errors.push(err(
+                    "unknown_tier",
+                    format!("unknown tier `{name}` (expected `deterministic` or `host`)"),
+                )),
+                Err(()) => out.errors.push(err(
+                    "malformed_annotation",
+                    "malformed tier declaration: expected `tier(<name>)`".to_string(),
+                )),
+            }
+        } else if let Some(inner) = strip_call(rest, "allow") {
+            let Ok(inner) = inner else {
+                out.errors.push(err(
+                    "malformed_annotation",
+                    "malformed allow: expected `allow(<pass>, reason = \"...\")`".to_string(),
+                ));
+                continue;
+            };
+            match parse_allow_body(inner) {
+                Ok((pass_name, reason)) => match Pass::from_allow_name(pass_name) {
+                    Some(pass) if !reason.trim().is_empty() => {
+                        let target_line = allow_target_line(toks, i, tok.line);
+                        out.allows.push(Allow {
+                            pass,
+                            reason: reason.to_string(),
+                            line: tok.line,
+                            target_line,
+                        });
+                    }
+                    Some(_) => out.errors.push(err(
+                        "empty_reason",
+                        "allow reason must be non-empty: an annotation without a justification is a hole in the contract".to_string(),
+                    )),
+                    None => out.errors.push(err(
+                        "unknown_pass",
+                        format!(
+                            "unknown pass `{pass_name}` (expected one of: {})",
+                            Pass::ALLOWABLE.join(", ")
+                        ),
+                    )),
+                },
+                Err(msg) => out.errors.push(err("malformed_annotation", msg)),
+            }
+        } else {
+            out.errors.push(err(
+                "malformed_annotation",
+                format!(
+                    "unrecognized audit directive `{rest}` (expected `tier(...)` or `allow(...)`)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// If `s` is `name( ... )`, the inner text; `Err` when the parens are
+/// malformed; `None` when it is not this call at all.
+fn strip_call<'a>(s: &'a str, name: &str) -> Option<Result<&'a str, ()>> {
+    let rest = s.strip_prefix(name)?.trim_start();
+    if !rest.starts_with('(') {
+        return Some(Err(()));
+    }
+    match rest[1..].rfind(')') {
+        Some(end) => Some(Ok(rest[1..1 + end].trim())),
+        None => Some(Err(())),
+    }
+}
+
+/// Parses `<pass>, reason = "..."`.
+fn parse_allow_body(inner: &str) -> Result<(&str, &str), String> {
+    let (pass, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "allow needs a reason: `allow(<pass>, reason = \"...\")`".to_string())?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix("reason")
+        .ok_or_else(|| format!("expected `reason = \"...\"`, found `{rest}`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('=')
+        .ok_or_else(|| "expected `=` after `reason`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    let end = rest
+        .rfind('"')
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    Ok((pass.trim(), &rest[..end]))
+}
+
+/// The code line an allow at token index `i` covers: its own line when
+/// code precedes it there (a trailing comment), otherwise the line of
+/// the next code token (a standalone comment above the statement).
+fn allow_target_line(toks: &[Tok], i: usize, line: u32) -> u32 {
+    let trailing = toks[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| !t.is_comment());
+    if trailing {
+        return line;
+    }
+    toks[i + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| t.line)
+        .unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_trailing_and_standalone_allows() {
+        let src = "let x = now(); // audit: allow(determinism, reason = \"test\")\n\
+                   // audit: allow(unordered, reason = \"lookup only\")\n\
+                   for k in m.keys() {}\n";
+        let toks = lex(src);
+        let ann = parse_annotations("f.rs", &toks);
+        assert!(ann.errors.is_empty(), "{:?}", ann.errors);
+        assert_eq!(ann.allows.len(), 2);
+        assert_eq!(ann.allows[0].target_line, 1, "trailing covers own line");
+        assert_eq!(
+            ann.allows[1].target_line, 3,
+            "standalone covers next code line"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_pass_empty_reason_and_malformed() {
+        let src = "// audit: allow(nonsense, reason = \"x\")\n\
+                   // audit: allow(determinism, reason = \"  \")\n\
+                   // audit: allow(determinism)\n\
+                   // audit: frobnicate(7)\n\
+                   // audit: tier(quantum)\n";
+        let ann = parse_annotations("f.rs", &lex(src));
+        let codes: Vec<&str> = ann.errors.iter().map(|e| e.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "unknown_pass",
+                "empty_reason",
+                "malformed_annotation",
+                "malformed_annotation",
+                "unknown_tier"
+            ]
+        );
+        assert!(ann.allows.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_not_directives() {
+        let src = "/// the `// audit: allow(nonsense, reason = \"x\")` grammar\n\
+                   //! audit: tier(quantum)\nfn f() {}\n";
+        let ann = parse_annotations("f.rs", &lex(src));
+        assert!(ann.errors.is_empty());
+        assert!(ann.allows.is_empty() && ann.tiers.is_empty());
+    }
+
+    #[test]
+    fn tier_declarations_parse() {
+        let ann = parse_annotations("f.rs", &lex("// audit: tier(deterministic)\n"));
+        assert_eq!(ann.tiers.len(), 1);
+        assert_eq!(ann.tiers[0].tier, "deterministic");
+    }
+}

@@ -1,0 +1,143 @@
+//! `cargo run -p audit` — the workspace determinism-contract auditor.
+//!
+//! Usage:
+//!
+//! ```text
+//! audit [--root <dir>] [--json <path>] [--write-baseline]
+//! ```
+//!
+//! Exit codes follow the house convention: `0` clean, `1` findings (or
+//! an I/O failure), `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use audit::{ratchet_findings, report, run_audit, tiers};
+
+const BASELINE_FILE: &str = "audit_baseline.json";
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: audit [--root <dir>] [--json <path>] [--write-baseline]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        write_baseline: false,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
+            "--json" => args.json = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
+            "--write-baseline" => args.write_baseline = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let root = match args
+        .root
+        .or_else(|| env::current_dir().ok().and_then(|d| tiers::find_root(&d)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "audit: could not locate the workspace root (no Cargo.toml with [workspace])"
+            );
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut outcome = match run_audit(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline: BTreeMap<String, u64> = if args.write_baseline {
+        let counts = outcome.panic_counts();
+        let text = report::baseline_json(&counts);
+        if let Err(e) = fs::write(&baseline_path, text) {
+            eprintln!("audit: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(1);
+        }
+        println!(
+            "wrote {} ({} crates)",
+            baseline_path.display(),
+            counts.len()
+        );
+        counts
+    } else {
+        match fs::read_to_string(&baseline_path) {
+            Ok(text) => match report::parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("audit: {}: {e}", baseline_path.display());
+                    return ExitCode::from(1);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "audit: {}: {e} (run with --write-baseline to create it)",
+                    baseline_path.display()
+                );
+                return ExitCode::from(1);
+            }
+        }
+    };
+
+    outcome
+        .findings
+        .extend(ratchet_findings(&outcome, &baseline));
+
+    if let Some(path) = &args.json {
+        let text = report::report_json(&outcome, &baseline);
+        if let Err(e) = fs::write(path, text) {
+            eprintln!("audit: writing {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+
+    for finding in &outcome.findings {
+        eprintln!("{}\n", finding.render());
+    }
+
+    let panic_total: u64 = outcome.crates.iter().map(|c| c.panic_count).sum();
+    let budget_total: u64 = baseline.values().sum();
+    println!(
+        "audit: {} files across {} crates; panic surface {panic_total}/{budget_total}; {} allows; {} findings",
+        outcome.files_scanned,
+        outcome.crates.len(),
+        outcome.allows.len(),
+        outcome.findings.len()
+    );
+
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,422 @@
+//! The four audit passes, each a pure function over one file's tokens.
+//!
+//! All passes are lexical: they see the token stream of
+//! [`crate::lexer`], never an AST. That makes them fast, dependency-free
+//! and — by design — slightly conservative heuristics whose exact
+//! contract is pinned by the fixture suite in `fixtures/`. Where a
+//! heuristic cannot prove innocence (e.g. a lookup-only hash map that a
+//! pass still flags), the `// audit: allow(...)` grammar is the escape
+//! hatch, and it demands a written reason.
+
+use crate::diag::{Diagnostic, Pass};
+use crate::lexer::{Tok, TokKind};
+
+/// Keywords that can legitimately precede `[` without forming an index
+/// expression (array literals, slice patterns, `return [..]`, ...).
+const NON_INDEX_PREV: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "move", "mut", "ref", "const", "static", "break",
+    "continue", "as", "where", "for", "while", "loop", "dyn", "impl", "fn", "type", "struct",
+    "enum", "union", "unsafe", "pub", "use", "mod", "trait", "yield",
+];
+
+/// Methods whose call on a hash-ordered collection observes its
+/// iteration order.
+const ITERATING_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+fn diagnostic(
+    pass: Pass,
+    code: &'static str,
+    file: &str,
+    tok: &Tok,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        pass,
+        code,
+        file: file.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}
+
+/// Indices of non-comment tokens, the stream every pass matches over.
+pub fn code_indices(toks: &[Tok]) -> Vec<usize> {
+    toks.iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// **Pass 1 — determinism.** Bans wall-clock reads, `std::env`,
+/// unseeded randomness, and thread/host-identity reads. Deterministic
+/// tier only.
+pub fn determinism(file: &str, toks: &[Tok], code: &[usize]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let tok = |k: usize| &toks[code[k]];
+    for k in 0..code.len() {
+        let t = tok(k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let path2 = |a: &str, b: &str, k: usize| {
+            t.is_ident(a)
+                && code.len() > k + 2
+                && tok(k + 1).is_punct("::")
+                && tok(k + 2).is_ident(b)
+        };
+        let hit: Option<(&'static str, String)> = if path2("Instant", "now", k) {
+            Some((
+                "wall_clock",
+                "`Instant::now` reads the wall clock; deterministic-tier code must take time from the simulation clock".to_string(),
+            ))
+        } else if t.is_ident("SystemTime") || t.is_ident("UNIX_EPOCH") {
+            Some((
+                "wall_clock",
+                format!("`{}` reads the wall clock; deterministic-tier code must take time from the simulation clock", t.text),
+            ))
+        } else if path2("std", "env", k) {
+            Some((
+                "host_env",
+                "`std::env` reads process state; deterministic-tier behavior may only depend on explicit inputs".to_string(),
+            ))
+        } else if path2("thread", "current", k) || t.is_ident("ThreadId") {
+            Some((
+                "host_identity",
+                "thread identity is host-dependent; deterministic-tier decisions may not observe which thread runs them".to_string(),
+            ))
+        } else if t.is_ident("available_parallelism") {
+            Some((
+                "host_identity",
+                "`available_parallelism` is a host property; deterministic-tier decisions may not depend on core count".to_string(),
+            ))
+        } else if t.is_ident("thread_rng")
+            || t.is_ident("from_entropy")
+            || t.is_ident("OsRng")
+            || t.is_ident("getrandom")
+            || t.is_ident("RandomState")
+        {
+            Some((
+                "unseeded_rng",
+                format!("`{}` draws host entropy; deterministic-tier randomness must come from the seeded simulation RNG", t.text),
+            ))
+        } else {
+            None
+        };
+        if let Some((codee, message)) = hit {
+            out.push(diagnostic(Pass::Determinism, codee, file, t, message));
+        }
+    }
+    out
+}
+
+/// **Pass 2 — unordered iteration.** Tracks bindings and fields whose
+/// declared type mentions `HashMap`/`HashSet` and flags any operation
+/// that observes their iteration order. Lookup-only use (`get`,
+/// `contains`, `insert`, `remove`, `entry`, `len`) is fine.
+pub fn unordered(file: &str, toks: &[Tok], code: &[usize]) -> Vec<Diagnostic> {
+    let tok = |k: usize| &toks[code[k]];
+    // Collect hash-typed names: `name: ... HashMap<..>` declarations
+    // (fields, params, typed lets) and `let [mut] name = HashMap::...`.
+    let mut names: Vec<String> = Vec::new();
+    for k in 0..code.len() {
+        let t = tok(k);
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if tok(k).is_ident("let") {
+            // let [mut] NAME ... = ... Hash{Map,Set} ... ;
+            let mut j = k + 1;
+            if j < code.len() && tok(j).is_ident("mut") {
+                j += 1;
+            }
+            if j >= code.len() || tok(j).kind != TokKind::Ident {
+                continue;
+            }
+            let name = tok(j).text.clone();
+            for m in j + 1..(j + 40).min(code.len()) {
+                let tm = tok(m);
+                if tm.is_punct(";") {
+                    break;
+                }
+                if tm.is_ident("HashMap") || tm.is_ident("HashSet") {
+                    names.push(name.clone());
+                    break;
+                }
+            }
+        } else if k + 1 < code.len() && tok(k + 1).is_punct(":") {
+            // NAME : <type tokens> — scan the type until a delimiter.
+            let name = t.text.clone();
+            for m in k + 2..(k + 14).min(code.len()) {
+                let tm = tok(m);
+                if tm.kind == TokKind::Punct
+                    && matches!(tm.text.as_str(), "," | ";" | "{" | "}" | ")" | "=")
+                {
+                    break;
+                }
+                if tm.is_ident("HashMap") || tm.is_ident("HashSet") {
+                    names.push(name.clone());
+                    break;
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    let is_hash_name = |t: &Tok| t.kind == TokKind::Ident && names.binary_search(&t.text).is_ok();
+
+    let mut out = Vec::new();
+    for k in 0..code.len() {
+        let t = tok(k);
+        // `name.iter()` / `.keys()` / `.drain(..)` / ...
+        if is_hash_name(t)
+            && k + 2 < code.len()
+            && tok(k + 1).is_punct(".")
+            && tok(k + 2).kind == TokKind::Ident
+            && ITERATING_METHODS.contains(&tok(k + 2).text.as_str())
+        {
+            out.push(diagnostic(
+                Pass::Unordered,
+                "unordered_iteration",
+                file,
+                t,
+                format!(
+                    "`{}.{}` observes hash order; use a BTreeMap/BTreeSet/sorted vec, or prove the order is harmless with an allow",
+                    t.text,
+                    tok(k + 2).text
+                ),
+            ));
+        }
+        // `for pat in <expr containing a bare hash name> {`
+        if t.is_ident("for") {
+            let Some(in_k) = (k + 1..(k + 24).min(code.len())).find(|&m| tok(m).is_ident("in"))
+            else {
+                continue;
+            };
+            for m in in_k + 1..(in_k + 24).min(code.len()) {
+                let tm = tok(m);
+                if tm.is_punct("{") || tm.is_punct(";") {
+                    break;
+                }
+                // A bare mention not followed by `.` (method chains are
+                // judged by the rule above on their own merits).
+                if is_hash_name(tm) && !(m + 1 < code.len() && tok(m + 1).is_punct(".")) {
+                    out.push(diagnostic(
+                        Pass::Unordered,
+                        "unordered_iteration",
+                        file,
+                        tm,
+                        format!(
+                            "`for` over `{}` observes hash order; use a BTreeMap/BTreeSet/sorted vec, or prove the order is harmless with an allow",
+                            tm.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// **Pass 3 — panic surface.** Emits one site per `.unwrap()`,
+/// `.expect(`, panic-family macro, and index expression in non-test
+/// library code. The caller aggregates sites into the per-crate ratchet
+/// counts; fixtures compare them directly.
+pub fn panic_sites(file: &str, toks: &[Tok], code: &[usize]) -> Vec<Diagnostic> {
+    let tok = |k: usize| &toks[code[k]];
+    let excluded = cfg_test_spans(toks, code);
+    let mut out = Vec::new();
+    for k in 0..code.len() {
+        if excluded.iter().any(|&(a, b)| k >= a && k <= b) {
+            continue;
+        }
+        let t = tok(k);
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && k >= 1
+            && tok(k - 1).is_punct(".")
+            && k + 1 < code.len()
+            && tok(k + 1).is_punct("(")
+        {
+            out.push(diagnostic(
+                Pass::Panic,
+                if t.text == "unwrap" {
+                    "unwrap"
+                } else {
+                    "expect"
+                },
+                file,
+                t,
+                format!("`.{}()` can panic", t.text),
+            ));
+        }
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && k + 1 < code.len()
+            && tok(k + 1).is_punct("!")
+        {
+            out.push(diagnostic(
+                Pass::Panic,
+                "panic_macro",
+                file,
+                t,
+                format!("`{}!` is an explicit panic", t.text),
+            ));
+        }
+        if t.is_punct("[") && k >= 1 {
+            let p = tok(k - 1);
+            let indexes = match p.kind {
+                TokKind::Ident => !NON_INDEX_PREV.contains(&p.text.as_str()),
+                TokKind::Punct => p.text == ")" || p.text == "]",
+                _ => false,
+            };
+            if indexes {
+                out.push(diagnostic(
+                    Pass::Panic,
+                    "index",
+                    file,
+                    t,
+                    "index expressions panic out of bounds".to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Spans (in code-index space) of `#[cfg(test)]`-gated items — the
+/// in-file unit-test modules the panic ratchet must not count.
+fn cfg_test_spans(toks: &[Tok], code: &[usize]) -> Vec<(usize, usize)> {
+    let tok = |k: usize| &toks[code[k]];
+    let mut spans = Vec::new();
+    let mut k = 0;
+    while k + 4 < code.len() {
+        // `# [ cfg ( ... test ... ) ]`
+        if tok(k).is_punct("#") && tok(k + 1).is_punct("[") && tok(k + 2).is_ident("cfg") {
+            let mut depth = 0usize;
+            let mut saw_test = false;
+            let mut m = k + 3;
+            while m < code.len() {
+                let tm = tok(m);
+                if tm.is_punct("(") {
+                    depth += 1;
+                } else if tm.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tm.is_ident("test") {
+                    saw_test = true;
+                }
+                m += 1;
+            }
+            // Past `) ]`: skip any further attributes, then the item.
+            let mut item = m + 2;
+            while item + 1 < code.len() && tok(item).is_punct("#") && tok(item + 1).is_punct("[") {
+                let mut bd = 0usize;
+                while item < code.len() {
+                    if tok(item).is_punct("[") {
+                        bd += 1;
+                    } else if tok(item).is_punct("]") {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    }
+                    item += 1;
+                }
+                item += 1;
+            }
+            if saw_test {
+                // The gated item runs to its matching close brace (or
+                // `;` for braceless items).
+                let mut bd = 0usize;
+                let mut end = item;
+                while end < code.len() {
+                    let te = tok(end);
+                    if te.is_punct("{") {
+                        bd += 1;
+                    } else if te.is_punct("}") {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    } else if te.is_punct(";") && bd == 0 {
+                        break;
+                    }
+                    end += 1;
+                }
+                spans.push((k, end.min(code.len().saturating_sub(1))));
+                k = end + 1;
+                continue;
+            }
+            k = m + 1;
+            continue;
+        }
+        k += 1;
+    }
+    spans
+}
+
+/// **Pass 4 — unsafe audit.** Every `unsafe` token must have a
+/// `// SAFETY:` comment on its own line or within the eight lines above
+/// it. The companion crate-level rule (`#![forbid(unsafe_code)]` on
+/// crates with no unsafe at all) lives in the engine, which sees whole
+/// crates.
+pub fn unsafe_audit(file: &str, toks: &[Tok]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let covered = toks[..i].iter().any(|c| {
+            c.is_comment() && c.text.contains("SAFETY:") && c.line <= t.line && c.line + 8 >= t.line
+        });
+        if !covered {
+            out.push(diagnostic(
+                Pass::Unsafe,
+                "missing_safety_comment",
+                file,
+                t,
+                "`unsafe` without an adjacent `// SAFETY:` comment stating the aliasing/lifetime argument".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether a token stream contains any (non-comment, non-literal)
+/// `unsafe`.
+pub fn has_unsafe(toks: &[Tok]) -> bool {
+    toks.iter().any(|t| t.is_ident("unsafe"))
+}
+
+/// Whether a crate root declares `#![forbid(unsafe_code)]`.
+pub fn has_forbid_unsafe(toks: &[Tok], code: &[usize]) -> bool {
+    let tok = |k: usize| &toks[code[k]];
+    (0..code.len().saturating_sub(6)).any(|k| {
+        tok(k).is_punct("#")
+            && tok(k + 1).is_punct("!")
+            && tok(k + 2).is_punct("[")
+            && tok(k + 3).is_ident("forbid")
+            && tok(k + 4).is_punct("(")
+            && tok(k + 5).is_ident("unsafe_code")
+            && tok(k + 6).is_punct(")")
+    })
+}

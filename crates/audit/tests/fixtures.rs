@@ -1,0 +1,124 @@
+//! Fixture self-tests: each `fixtures/<pass>/<name>.rs` is audited as a
+//! deterministic-tier library file and its diagnostics (including panic
+//! sites) are compared line-by-line against `<name>.expected`.
+//!
+//! The expected format is one `pass/code:line` per line; `#` lines are
+//! commentary. An empty expectation pins a clean (or fully allowed)
+//! fixture — those cases are what keep the passes honest about false
+//! positives, not just misses.
+
+use std::fs;
+use std::path::Path;
+
+use audit::audit_source;
+use audit::tiers::{Scope, Tier};
+
+fn run_fixture(dir: &str, name: &str) {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(dir);
+    let src = fs::read_to_string(base.join(format!("{name}.rs"))).unwrap();
+    let expected = fs::read_to_string(base.join(format!("{name}.expected"))).unwrap();
+    let rel = format!("fixtures/{dir}/{name}.rs");
+    let audit = audit_source(&rel, &src, Tier::Deterministic, Scope::Lib);
+
+    let mut got: Vec<String> = audit
+        .diagnostics
+        .iter()
+        .chain(audit.panic_sites.iter())
+        .map(|d| format!("{}/{}:{}", d.pass.name(), d.code, d.line))
+        .collect();
+    got.sort();
+    let mut want: Vec<String> = expected
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    want.sort();
+    assert_eq!(got, want, "fixture {dir}/{name} diagnostics diverged");
+}
+
+#[test]
+fn determinism_wall_clock_fires() {
+    run_fixture("determinism", "wall_clock");
+}
+
+#[test]
+fn determinism_host_env_and_identity_fire() {
+    run_fixture("determinism", "host_env");
+}
+
+#[test]
+fn determinism_unseeded_rng_fires() {
+    run_fixture("determinism", "rng");
+}
+
+#[test]
+fn determinism_allow_suppresses() {
+    run_fixture("determinism", "allowed");
+}
+
+#[test]
+fn unordered_iteration_fires() {
+    run_fixture("unordered", "iteration");
+}
+
+#[test]
+fn unordered_lookup_only_is_clean() {
+    run_fixture("unordered", "lookup_ok");
+}
+
+#[test]
+fn unordered_allow_suppresses() {
+    run_fixture("unordered", "allowed");
+}
+
+#[test]
+fn panic_sites_fire_and_cfg_test_is_excluded() {
+    run_fixture("panic", "sites");
+}
+
+#[test]
+fn panic_allow_excludes_from_ratchet() {
+    run_fixture("panic", "allowed");
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    run_fixture("unsafe", "missing_safety");
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    run_fixture("unsafe", "with_safety");
+}
+
+#[test]
+fn annotation_grammar_is_validated() {
+    run_fixture("annotation", "bad");
+}
+
+#[test]
+fn host_tier_files_skip_determinism_and_unordered() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = fs::read_to_string(base.join("determinism/wall_clock.rs")).unwrap();
+    let audit = audit_source("wall_clock.rs", &src, Tier::Host, Scope::Lib);
+    assert!(
+        audit.diagnostics.is_empty(),
+        "host tier must not be held to the determinism passes: {:?}",
+        audit.diagnostics
+    );
+}
+
+#[test]
+fn aux_scope_only_runs_the_unsafe_pass() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let src = fs::read_to_string(base.join("panic/sites.rs")).unwrap();
+    let audit = audit_source("sites.rs", &src, Tier::Deterministic, Scope::Aux);
+    assert!(
+        audit.panic_sites.is_empty(),
+        "aux files are outside the panic ratchet"
+    );
+    assert!(audit.diagnostics.is_empty());
+}

@@ -13,6 +13,9 @@
 //! cargo run --release -p tokenflow-bench --bin experiments -- fig16
 //! ```
 
+// audit: tier(host)
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod runner;
 pub mod table;

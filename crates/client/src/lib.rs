@@ -12,6 +12,9 @@
 //! * [`rates`] — the Figure 1 consumption-rate data (reading and listening
 //!   speeds by age group and language).
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod rates;
 

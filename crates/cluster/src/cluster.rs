@@ -1,7 +1,7 @@
 //! The cluster engine: a dynamic replica set on one simulated timeline,
 //! executed as a sequence of arrival-barrier epochs.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use tokenflow_control::{
     ControlConfig, ControlPlane, ReplicaPhase, ScaleEvent, ScaleEventKind, ScalePolicy,
@@ -76,16 +76,20 @@ type SchedulerFactory = Box<dyn FnMut() -> Box<dyn Scheduler> + Send>;
 struct FaultRuntime {
     driver: FaultDriver,
     /// Replicas that fail-stopped. Their `done` flag is pinned true and
-    /// they are excluded from dispatch forever.
-    crashed: HashSet<usize>,
+    /// they are excluded from dispatch forever. Ordered structures
+    /// throughout this block: the merge path iterates none of them
+    /// today, but the determinism contract (see `crates/audit`) bans
+    /// hash-ordered state in the deterministic tier outright so a future
+    /// iteration cannot silently become run-order-dependent.
+    crashed: BTreeSet<usize>,
     /// Latest incarnation of each global request id, as
     /// `(replica, local_id)` — where the request's record will be found
     /// at merge time.
-    latest: HashMap<u64, (usize, u64)>,
+    latest: BTreeMap<u64, (usize, u64)>,
     /// Incarnations a retry superseded: their partial records are
     /// dropped from the merged report (the re-dispatched incarnation
     /// carries the request from here).
-    superseded: HashSet<(usize, u64)>,
+    superseded: BTreeSet<(usize, u64)>,
     /// Arrivals rejected by shed mode, as `(global, spec)`; each gets a
     /// synthesized zero-progress record so conservation holds.
     shed: Vec<(u64, RequestSpec)>,
@@ -294,9 +298,9 @@ impl ClusterEngine {
         let gamma = ControlConfig::for_engine(&self.config).gamma;
         self.fault = Some(FaultRuntime {
             driver: FaultDriver::new(plan),
-            crashed: HashSet::new(),
-            latest: HashMap::new(),
-            superseded: HashSet::new(),
+            crashed: BTreeSet::new(),
+            latest: BTreeMap::new(),
+            superseded: BTreeSet::new(),
             shed: Vec::new(),
             gamma,
         });

@@ -69,6 +69,7 @@ impl Execution {
     /// falling back to sequential execution when parallelism cannot be
     /// determined.
     pub fn parallel_auto() -> Self {
+        // audit: allow(determinism, reason = "lane count is a capability, not an input: every Execution variant is byte-identical by the equivalence contract, so sizing to the host cannot reach an outcome")
         thread::available_parallelism()
             .map(Execution::Parallel)
             .unwrap_or(Execution::Sequential)

@@ -50,6 +50,8 @@
 //! `fleet` experiments for replica-scaling comparisons under the paper's
 //! burst workload.
 
+// audit: tier(deterministic)
+
 pub mod cluster;
 pub mod executor;
 pub mod pool;

@@ -100,9 +100,16 @@ impl Shared {
                 }
             };
             // SAFETY: `idx` was claimed exactly once under the lock, so
-            // this thread holds the only reference to item `idx` (and
-            // its engine); the buffer outlives the batch (see `Batch`).
+            // this thread holds the only live reference into item `idx`;
+            // the item buffer is the coordinator's `items` vec, which is
+            // not touched (or reallocated) while a batch is published
+            // and outlives it (see `Batch`).
             let item = unsafe { &mut *batch.items.add(idx) };
+            // SAFETY: each engine appears in at most one work item — the
+            // coordinator derives the pointers from one `&mut [Engine]`,
+            // one item per distinct index — so the exclusive claim on
+            // item `idx` is also an exclusive claim on its engine, and
+            // `advance` keeps that borrow alive until the batch drains.
             let engine = unsafe { &mut *item.engine };
             let result = panic::catch_unwind(AssertUnwindSafe(|| engine.step_until(batch.until)));
             let mut st = self.state.lock().expect("pool state poisoned");
@@ -195,6 +202,7 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
+        // audit: allow(determinism, reason = "the wake cap only bounds how many parked workers are woken per batch; item claim order cannot reach any outcome byte (pinned by the executor equivalence and chaos suites)")
         let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
         WorkerPool {
             wake_cap: (threads.get() - 1).min(host.saturating_sub(1)),

@@ -30,6 +30,9 @@
 //! event logs, and fleet timelines reproduce bit-for-bit. The cluster
 //! crate's property suite holds every shipped policy to exactly that.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod lifecycle;
 pub mod plane;
 pub mod policy;

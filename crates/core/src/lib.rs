@@ -31,6 +31,9 @@
 //! [`Engine`] step by step for interactive use (see the `quickstart`
 //! example).
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub(crate) mod admission;
 pub(crate) mod batch;
 pub mod config;

@@ -29,7 +29,10 @@
 //! Backoff is exponential in *simulation* time, so recovery is as
 //! deterministic as the faults themselves.
 
-use std::collections::HashMap;
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
 
 use tokenflow_sim::{SimDuration, SimTime};
 use tokenflow_workload::RequestSpec;
@@ -233,10 +236,13 @@ pub struct FaultDriver {
     cursor: usize,
     /// Pending retries sorted by `(due, global)`.
     retries: Vec<PendingRetry>,
-    /// Per-global-request loss count.
-    attempts: HashMap<u64, u32>,
+    /// Per-global-request loss count. A `BTreeMap` so that
+    /// [`FaultDriver::lost_requests`] iterates in key order — iterating
+    /// a hash map here would be an order hazard the `audit` unordered-
+    /// iteration pass rejects.
+    attempts: BTreeMap<u64, u32>,
     /// When each retried request was first lost (recovery latency base).
-    first_lost: HashMap<u64, SimTime>,
+    first_lost: BTreeMap<u64, SimTime>,
     /// Loss/abandon/shed counters.
     pub tally: FaultTally,
 }
@@ -303,8 +309,8 @@ impl FaultDriver {
             actions,
             cursor: 0,
             retries: Vec::new(),
-            attempts: HashMap::new(),
-            first_lost: HashMap::new(),
+            attempts: BTreeMap::new(),
+            first_lost: BTreeMap::new(),
             tally: FaultTally::default(),
         }
     }
@@ -404,15 +410,13 @@ impl FaultDriver {
     }
 
     /// Every request that was ever lost, as `(global, attempts,
-    /// first_lost_at)` sorted by global id (deterministic report order).
+    /// first_lost_at)` sorted by global id (deterministic report order —
+    /// `attempts` is a `BTreeMap`, so iteration *is* key order).
     pub fn lost_requests(&self) -> Vec<(u64, u32, SimTime)> {
-        let mut out: Vec<(u64, u32, SimTime)> = self
-            .attempts
+        self.attempts
             .iter()
             .map(|(&g, &a)| (g, a, self.first_lost[&g]))
-            .collect();
-        out.sort_unstable_by_key(|&(g, _, _)| g);
-        out
+            .collect()
     }
 }
 

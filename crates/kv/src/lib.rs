@@ -19,6 +19,9 @@
 //! the byte movement itself is simulated (a bandwidth/latency model instead
 //! of a DMA engine), as documented in `DESIGN.md`.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod manager;
 pub mod pcie;
 pub mod pool;

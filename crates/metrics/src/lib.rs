@@ -20,6 +20,9 @@
 //! * [`digest`] — canonical JSON rendering and FNV-1a digests of
 //!   [`RunReport`]s, pinning behavior invariance across perf refactors.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod digest;
 pub mod fleet;
 pub mod record;

@@ -19,6 +19,9 @@
 //! Absolute numbers will not match the authors' testbed, but the ratios —
 //! which decide who queues, who preempts, and where buffers drain — do.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod hardware;
 pub mod model;

@@ -45,6 +45,9 @@
 //!   no-op stand-in, so the scenario layer carries its own parser and
 //!   canonical emitter).
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod codec;
 pub mod json;

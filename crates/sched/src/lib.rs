@@ -28,6 +28,9 @@
 //! crate's parallel epoch executor advances whole replicas on
 //! `std::thread::scope` workers between arrival barriers.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod andes;
 pub mod api;
 pub mod chunked;

@@ -15,6 +15,9 @@
 //! continuous-batching engine experiences time (scheduling decisions happen
 //! at iteration boundaries).
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod events;
 pub mod ids;

@@ -23,6 +23,9 @@
 //! leaving the decision record that is additionally invariant under the
 //! fast path — that filtered view is what trace digests pin.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 use tokenflow_sim::{RequestId, SimTime};
 
 /// Who emitted an event. The variant order is the merge tie-break order

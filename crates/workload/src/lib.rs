@@ -16,6 +16,9 @@
 //! configurable distributions ([`LengthDist`], [`RateDist`]); presets encode
 //! the paper's exact Table 1 configurations.
 
+// audit: tier(deterministic)
+#![forbid(unsafe_code)]
+
 pub mod arrivals;
 pub mod dist;
 pub mod presets;

@@ -116,6 +116,9 @@
 //! assert_eq!(outcome.replicas.len(), 2);
 //! ```
 
+// audit: tier(host)
+#![forbid(unsafe_code)]
+
 pub use tokenflow_client as client;
 pub use tokenflow_cluster as cluster;
 pub use tokenflow_control as control;

@@ -23,6 +23,8 @@
 //! particular a failed `--out`/`--trace` write is an error, not a
 //! warning — scripts depending on the artifact must see the failure.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::path::Path;
 use std::process::ExitCode;
